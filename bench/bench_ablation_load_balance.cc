@@ -1,0 +1,89 @@
+// Ablation (section IV-D design choice): adjacent-only load balancing vs the
+// paper's full two-mode scheme (adjacent + remote leaf recruiting with
+// forced restructuring), under a Zipf(1.0) insert stream.
+//
+// Expected: adjacent-only lets load "ripple through the network" -- the hot
+// region stays overloaded and migration traffic grows -- while recruiting
+// moves spare capacity into the hot region and caps the maximum load.
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+struct Outcome {
+  double max_over_avg = 0;   // max node load / average load
+  double lb_msgs_per_op = 0; // balancing messages per inserted key
+  double lb_ops = 0;
+};
+
+Outcome RunOne(size_t n, uint64_t seed, size_t keys_per_node, int scheme) {
+  BatonConfig cfg = BalancedConfig();
+  cfg.enable_remote_recruit = scheme >= 1;
+  cfg.enable_recruit_directory = scheme >= 2;
+  workload::UniformKeys preload(1, 1000000000);
+  auto bi = BuildBaton(n, seed, cfg, keys_per_node, &preload);
+  Rng rng(Mix64(seed ^ 0xab1));
+  workload::ZipfKeys zipf(1, 1000000000, 1.0);
+
+  auto base = bi.net->Snapshot();
+  uint64_t total = keys_per_node * n;
+  uint64_t routing = 0;
+  for (uint64_t i = 0; i < total; ++i) {
+    auto before = bi.net->Snapshot();
+    Status s = bi.overlay->Insert(
+        bi.members[rng.NextBelow(bi.members.size())], zipf.Next(&rng));
+    BATON_CHECK(s.ok()) << s.ToString();
+    routing += SumTypes(before, bi.net->Snapshot(), {net::MsgType::kInsert});
+  }
+  bi.overlay->CheckInvariants();
+
+  Outcome out;
+  size_t max_load = 0;
+  for (net::PeerId p : bi.overlay->Members()) {
+    max_load = std::max(max_load, bi.overlay->node(p).data.size());
+  }
+  double avg = static_cast<double>(bi.overlay->total_keys()) /
+               static_cast<double>(bi.overlay->size());
+  out.max_over_avg = static_cast<double>(max_load) / avg;
+  out.lb_msgs_per_op =
+      static_cast<double>(net::Network::Delta(base, bi.net->Snapshot()) -
+                          routing) /
+      static_cast<double>(total);
+  out.lb_ops = static_cast<double>(bi.overlay->load_balance_ops());
+  return out;
+}
+
+void Run(const Options& opt) {
+  const size_t n = opt.sizes.empty() ? 1000 : opt.sizes.front();
+  TablePrinter table({"scheme", "max_load/avg", "lb_msgs_per_insert",
+                      "lb_ops"});
+  const char* labels[] = {"adjacent-only", "adjacent+recruit (paper)",
+                          "recruit+directory ([4], fn.2)"};
+  for (int scheme : {0, 1, 2}) {
+    RunningStat ratio, msgs, ops;
+    for (int s = 0; s < opt.seeds; ++s) {
+      Outcome o = RunOne(n, opt.base_seed + static_cast<uint64_t>(s),
+                         opt.keys_per_node, scheme);
+      ratio.Add(o.max_over_avg);
+      msgs.Add(o.lb_msgs_per_op);
+      ops.Add(o.lb_ops);
+    }
+    table.AddRow({labels[scheme], TablePrinter::Num(ratio.mean()),
+                  TablePrinter::Num(msgs.mean(), 4),
+                  TablePrinter::Num(ops.mean(), 1)});
+  }
+  Emit("Ablation: load-balancing scheme under Zipf(1.0) (N=" +
+           std::to_string(n) + ")",
+       table, opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

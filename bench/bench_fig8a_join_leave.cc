@@ -1,0 +1,113 @@
+// Figure 8(a): average messages to find the destination node of a join and
+// the replacement node of a leave, vs network size; BATON vs Chord vs the
+// multiway tree.
+//
+// Expected shape (paper section V-A): BATON's costs stay nearly flat and far
+// below log N (requests hop between leaf levels, never through the root);
+// Chord pays a full O(log N) lookup per join and grows with N; the multiway
+// tree joins cheaply but pays heavily to leave (it polls all children).
+#include <cstdio>
+
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+constexpr int kChurnOps = 100;
+
+void Run(const Options& opt) {
+  TablePrinter table({"N", "baton_join", "baton_leave", "chord_join",
+                      "chord_leave", "multiway_join", "multiway_leave"});
+  for (size_t n : opt.sizes) {
+    RunningStat bj, bl, cj, cl, mj, ml;
+    for (int s = 0; s < opt.seeds; ++s) {
+      uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+      Rng rng(Mix64(seed ^ 0x8a));
+
+      workload::UniformKeys keys(1, 1000000000);
+      // --- BATON ---
+      {
+        auto bi = BuildBaton(n, seed, BalancedConfig(),
+                             opt.keys_per_node, &keys);
+        for (int i = 0; i < kChurnOps; ++i) {
+          auto before = bi.net->Snapshot();
+          auto joined = bi.overlay->Join(
+              bi.members[rng.NextBelow(bi.members.size())]);
+          BATON_CHECK(joined.ok());
+          bi.members.push_back(joined.value());
+          auto mid = bi.net->Snapshot();
+          bj.Add(static_cast<double>(
+              SumTypes(before, mid, {net::MsgType::kJoinForward})));
+
+          size_t idx = rng.NextBelow(bi.members.size());
+          net::PeerId victim = bi.members[idx];
+          BATON_CHECK(bi.overlay->Leave(victim).ok());
+          bi.members.erase(bi.members.begin() + static_cast<long>(idx));
+          auto after = bi.net->Snapshot();
+          bl.Add(static_cast<double>(
+              SumTypes(mid, after, {net::MsgType::kReplacementForward})));
+        }
+      }
+      // --- Chord ---
+      {
+        auto ci = BuildChord(n, seed);
+        for (int i = 0; i < kChurnOps; ++i) {
+          auto before = ci.net->Snapshot();
+          auto joined =
+              ci.ring->Join(ci.members[rng.NextBelow(ci.members.size())]);
+          BATON_CHECK(joined.ok());
+          ci.members.push_back(joined.value());
+          auto mid = ci.net->Snapshot();
+          cj.Add(static_cast<double>(
+              SumTypes(before, mid, {net::MsgType::kChordLookup})));
+
+          size_t idx = rng.NextBelow(ci.members.size());
+          BATON_CHECK(ci.ring->Leave(ci.members[idx]).ok());
+          ci.members.erase(ci.members.begin() + static_cast<long>(idx));
+          // Chord's successor absorbs the leaver: no replacement search.
+          cl.Add(0.0);
+        }
+      }
+      // --- Multiway tree ---
+      {
+        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
+        for (int i = 0; i < kChurnOps; ++i) {
+          auto before = mi.net->Snapshot();
+          auto joined =
+              mi.tree->Join(mi.members[rng.NextBelow(mi.members.size())]);
+          BATON_CHECK(joined.ok());
+          mi.members.push_back(joined.value());
+          auto mid = mi.net->Snapshot();
+          mj.Add(static_cast<double>(SumTypes(
+              before, mid,
+              {net::MsgType::kMultiwayJoinForward,
+               net::MsgType::kMultiwayProbe})));
+
+          size_t idx = rng.NextBelow(mi.members.size());
+          BATON_CHECK(mi.tree->Leave(mi.members[idx]).ok());
+          mi.members.erase(mi.members.begin() + static_cast<long>(idx));
+          auto after = mi.net->Snapshot();
+          ml.Add(static_cast<double>(
+              SumTypes(mid, after, {net::MsgType::kMultiwayChildPoll})));
+        }
+      }
+    }
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),
+                  TablePrinter::Num(bj.mean()), TablePrinter::Num(bl.mean()),
+                  TablePrinter::Num(cj.mean()), TablePrinter::Num(cl.mean()),
+                  TablePrinter::Num(mj.mean()), TablePrinter::Num(ml.mean())});
+  }
+  Emit("Fig 8(a): avg messages to find join node / replacement node", table,
+       opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 8(b): average messages to update routing tables after a join or a
+// leave, vs network size.
+//
+// Expected shape: BATON stays O(log N) (the paper's 6 log N join / 8 log N
+// leave bounds); Chord pays O(log^2 N) (finger initialisation plus
+// update_others) and dominates; the multiway tree is cheapest (it maintains
+// almost no routing state -- and pays for it in search cost, Fig 8(d)).
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+constexpr int kChurnOps = 100;
+
+void Run(const Options& opt) {
+  TablePrinter table({"N", "baton_join", "baton_leave", "chord_join",
+                      "chord_leave", "multiway_join", "multiway_leave"});
+  for (size_t n : opt.sizes) {
+    RunningStat bj, bl, cj, cl, mj, ml;
+    for (int s = 0; s < opt.seeds; ++s) {
+      uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+      Rng rng(Mix64(seed ^ 0x8b));
+
+      workload::UniformKeys keys(1, 1000000000);
+      {
+        auto bi = BuildBaton(n, seed, BalancedConfig(),
+                             opt.keys_per_node, &keys);
+        for (int i = 0; i < kChurnOps; ++i) {
+          auto before = bi.net->Snapshot();
+          auto joined = bi.overlay->Join(
+              bi.members[rng.NextBelow(bi.members.size())]);
+          BATON_CHECK(joined.ok());
+          bi.members.push_back(joined.value());
+          auto mid = bi.net->Snapshot();
+          bj.Add(static_cast<double>(MaintenanceDelta(before, mid)));
+
+          size_t idx = rng.NextBelow(bi.members.size());
+          BATON_CHECK(bi.overlay->Leave(bi.members[idx]).ok());
+          bi.members.erase(bi.members.begin() + static_cast<long>(idx));
+          auto after = bi.net->Snapshot();
+          bl.Add(static_cast<double>(MaintenanceDelta(mid, after)));
+        }
+      }
+      {
+        auto ci = BuildChord(n, seed);
+        auto update_types = {net::MsgType::kChordJoinInit,
+                             net::MsgType::kChordUpdateOthers,
+                             net::MsgType::kChordNotify,
+                             net::MsgType::kChordKeyMove};
+        for (int i = 0; i < kChurnOps; ++i) {
+          auto before = ci.net->Snapshot();
+          auto joined =
+              ci.ring->Join(ci.members[rng.NextBelow(ci.members.size())]);
+          BATON_CHECK(joined.ok());
+          ci.members.push_back(joined.value());
+          auto mid = ci.net->Snapshot();
+          cj.Add(static_cast<double>(SumTypes(before, mid, update_types)));
+
+          size_t idx = rng.NextBelow(ci.members.size());
+          BATON_CHECK(ci.ring->Leave(ci.members[idx]).ok());
+          ci.members.erase(ci.members.begin() + static_cast<long>(idx));
+          auto after = ci.net->Snapshot();
+          cl.Add(static_cast<double>(SumTypes(mid, after, update_types)));
+        }
+      }
+      {
+        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
+        auto update_types = {net::MsgType::kMultiwayLinkUpdate,
+                             net::MsgType::kContentTransfer};
+        for (int i = 0; i < kChurnOps; ++i) {
+          auto before = mi.net->Snapshot();
+          auto joined =
+              mi.tree->Join(mi.members[rng.NextBelow(mi.members.size())]);
+          BATON_CHECK(joined.ok());
+          mi.members.push_back(joined.value());
+          auto mid = mi.net->Snapshot();
+          mj.Add(static_cast<double>(SumTypes(before, mid, update_types)));
+
+          size_t idx = rng.NextBelow(mi.members.size());
+          BATON_CHECK(mi.tree->Leave(mi.members[idx]).ok());
+          mi.members.erase(mi.members.begin() + static_cast<long>(idx));
+          auto after = mi.net->Snapshot();
+          ml.Add(static_cast<double>(SumTypes(mid, after, update_types)));
+        }
+      }
+    }
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),
+                  TablePrinter::Num(bj.mean()), TablePrinter::Num(bl.mean()),
+                  TablePrinter::Num(cj.mean()), TablePrinter::Num(cl.mean()),
+                  TablePrinter::Num(mj.mean()), TablePrinter::Num(ml.mean())});
+  }
+  Emit("Fig 8(b): avg messages to update routing tables on join / leave",
+       table, opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 8(c): average messages per insert and delete operation vs network
+// size, on a data-loaded network.
+//
+// Expected shape: BATON and Chord both ~log N, BATON slightly above Chord
+// (tree height can reach 1.44 log2 N); the multiway tree clearly worse.
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+void Run(const Options& opt) {
+  TablePrinter table({"N", "baton_ins", "baton_del", "chord_ins", "chord_del",
+                      "multiway_ins", "multiway_del"});
+  for (size_t n : opt.sizes) {
+    RunningStat bi_s, bd_s, ci_s, cd_s, mi_s, md_s;
+    for (int s = 0; s < opt.seeds; ++s) {
+      uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+      Rng rng(Mix64(seed ^ 0x8c));
+      workload::UniformKeys keys(1, 1000000000);
+      int ops = opt.queries;
+
+      {
+        auto bi = BuildBaton(n, seed, BalancedConfig(),
+                             opt.keys_per_node, &keys);
+        std::vector<Key> inserted;
+        for (int i = 0; i < ops; ++i) {
+          Key k = keys.Next(&rng);
+          inserted.push_back(k);
+          auto before = bi.net->Snapshot();
+          BATON_CHECK(
+              bi.overlay->Insert(bi.members[rng.NextBelow(bi.members.size())], k)
+                  .ok());
+          bi_s.Add(static_cast<double>(
+              net::Network::Delta(before, bi.net->Snapshot())));
+        }
+        for (int i = 0; i < ops; ++i) {
+          auto before = bi.net->Snapshot();
+          BATON_CHECK(bi.overlay
+                          ->Delete(bi.members[rng.NextBelow(bi.members.size())],
+                                   inserted[static_cast<size_t>(i)])
+                          .ok());
+          bd_s.Add(static_cast<double>(
+              net::Network::Delta(before, bi.net->Snapshot())));
+        }
+      }
+      {
+        auto ci = BuildChord(n, seed);
+        LoadChord(&ci, opt.keys_per_node, &keys, &rng);
+        std::vector<Key> inserted;
+        for (int i = 0; i < ops; ++i) {
+          Key k = keys.Next(&rng);
+          inserted.push_back(k);
+          auto before = ci.net->Snapshot();
+          BATON_CHECK(
+              ci.ring->Insert(ci.members[rng.NextBelow(ci.members.size())], k)
+                  .ok());
+          ci_s.Add(static_cast<double>(
+              net::Network::Delta(before, ci.net->Snapshot())));
+        }
+        for (int i = 0; i < ops; ++i) {
+          auto before = ci.net->Snapshot();
+          BATON_CHECK(ci.ring
+                          ->Delete(ci.members[rng.NextBelow(ci.members.size())],
+                                   inserted[static_cast<size_t>(i)])
+                          .ok());
+          cd_s.Add(static_cast<double>(
+              net::Network::Delta(before, ci.net->Snapshot())));
+        }
+      }
+      {
+        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
+        std::vector<Key> inserted;
+        for (int i = 0; i < ops; ++i) {
+          Key k = keys.Next(&rng);
+          inserted.push_back(k);
+          auto before = mi.net->Snapshot();
+          BATON_CHECK(
+              mi.tree->Insert(mi.members[rng.NextBelow(mi.members.size())], k)
+                  .ok());
+          mi_s.Add(static_cast<double>(
+              net::Network::Delta(before, mi.net->Snapshot())));
+        }
+        for (int i = 0; i < ops; ++i) {
+          auto before = mi.net->Snapshot();
+          BATON_CHECK(mi.tree
+                          ->Delete(mi.members[rng.NextBelow(mi.members.size())],
+                                   inserted[static_cast<size_t>(i)])
+                          .ok());
+          md_s.Add(static_cast<double>(
+              net::Network::Delta(before, mi.net->Snapshot())));
+        }
+      }
+    }
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),
+                  TablePrinter::Num(bi_s.mean()), TablePrinter::Num(bd_s.mean()),
+                  TablePrinter::Num(ci_s.mean()), TablePrinter::Num(cd_s.mean()),
+                  TablePrinter::Num(mi_s.mean()),
+                  TablePrinter::Num(md_s.mean())});
+  }
+  Emit("Fig 8(c): avg messages per insert / delete", table, opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8(d): average messages per exact-match query vs network size.
+//
+// Expected shape: BATON ~log N, slightly above Chord (the 1.44 height
+// factor); the multiway tree clearly worse (hop-by-hop, no sideways tables).
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+void Run(const Options& opt) {
+  TablePrinter table({"N", "baton", "chord", "multiway"});
+  for (size_t n : opt.sizes) {
+    RunningStat b, c, m;
+    for (int s = 0; s < opt.seeds; ++s) {
+      uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+      Rng rng(Mix64(seed ^ 0x8d));
+      workload::UniformKeys keys(1, 1000000000);
+
+      {
+        auto bi = BuildBaton(n, seed, BalancedConfig(),
+                             opt.keys_per_node, &keys);
+        for (int i = 0; i < opt.queries; ++i) {
+          auto before = bi.net->Snapshot();
+          auto res = bi.overlay->ExactSearch(
+              bi.members[rng.NextBelow(bi.members.size())], keys.Next(&rng));
+          BATON_CHECK(res.ok());
+          b.Add(static_cast<double>(
+              net::Network::Delta(before, bi.net->Snapshot())));
+        }
+      }
+      {
+        auto ci = BuildChord(n, seed);
+        LoadChord(&ci, opt.keys_per_node, &keys, &rng);
+        for (int i = 0; i < opt.queries; ++i) {
+          auto before = ci.net->Snapshot();
+          auto res = ci.ring->Lookup(
+              ci.members[rng.NextBelow(ci.members.size())], keys.Next(&rng));
+          BATON_CHECK(res.ok());
+          c.Add(static_cast<double>(
+              net::Network::Delta(before, ci.net->Snapshot())));
+        }
+      }
+      {
+        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
+        for (int i = 0; i < opt.queries; ++i) {
+          auto before = mi.net->Snapshot();
+          auto res = mi.tree->ExactSearch(
+              mi.members[rng.NextBelow(mi.members.size())], keys.Next(&rng));
+          BATON_CHECK(res.ok());
+          m.Add(static_cast<double>(
+              net::Network::Delta(before, mi.net->Snapshot())));
+        }
+      }
+    }
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),
+                  TablePrinter::Num(b.mean()), TablePrinter::Num(c.mean()),
+                  TablePrinter::Num(m.mean())});
+  }
+  Emit("Fig 8(d): avg messages per exact-match query", table, opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

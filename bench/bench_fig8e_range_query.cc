@@ -1,0 +1,72 @@
+// Figure 8(e): average messages per range query vs network size. Chord is
+// absent by design: "hashing destroys the ordering of data", so a DHT cannot
+// answer range queries without flooding.
+//
+// Expected shape: BATON ~ O(log N + X) where X is the number of nodes the
+// range spans; the multiway tree pays its more expensive routing phase.
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+constexpr Key kDomainHi = 1000000000;
+
+void Run(const Options& opt) {
+  // Queries cover 0.1% of the key space: at N = 10000 that is ~10 nodes.
+  const Key width = kDomainHi / 1000;
+  TablePrinter table(
+      {"N", "baton", "baton_nodes", "multiway", "multiway_nodes", "chord"});
+  for (size_t n : opt.sizes) {
+    RunningStat b, bn, m, mn;
+    for (int s = 0; s < opt.seeds; ++s) {
+      uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+      Rng rng(Mix64(seed ^ 0x8e));
+      workload::UniformKeys keys(1, kDomainHi);
+
+      {
+        auto bi = BuildBaton(n, seed, BalancedConfig(),
+                             opt.keys_per_node, &keys);
+        for (int i = 0; i < opt.queries; ++i) {
+          Key lo = rng.UniformInt(1, kDomainHi - width - 1);
+          auto before = bi.net->Snapshot();
+          auto res = bi.overlay->RangeSearch(
+              bi.members[rng.NextBelow(bi.members.size())], lo, lo + width);
+          BATON_CHECK(res.ok());
+          b.Add(static_cast<double>(
+              net::Network::Delta(before, bi.net->Snapshot())));
+          bn.Add(static_cast<double>(res.value().nodes.size()));
+        }
+      }
+      {
+        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
+        for (int i = 0; i < opt.queries; ++i) {
+          Key lo = rng.UniformInt(1, kDomainHi - width - 1);
+          auto before = mi.net->Snapshot();
+          auto res = mi.tree->RangeSearch(
+              mi.members[rng.NextBelow(mi.members.size())], lo, lo + width);
+          BATON_CHECK(res.ok());
+          m.Add(static_cast<double>(
+              net::Network::Delta(before, mi.net->Snapshot())));
+          mn.Add(static_cast<double>(res.value().nodes.size()));
+        }
+      }
+    }
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),
+                  TablePrinter::Num(b.mean()), TablePrinter::Num(bn.mean()),
+                  TablePrinter::Num(m.mean()), TablePrinter::Num(mn.mean()),
+                  "n/a"});
+  }
+  Emit("Fig 8(e): avg messages per range query (0.1% selectivity)", table,
+       opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

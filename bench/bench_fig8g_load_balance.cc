@@ -1,0 +1,98 @@
+// Figure 8(g): cumulative load-balancing messages as inserts arrive, for
+// uniformly distributed vs Zipf(1.0)-skewed data.
+//
+// Expected shape: uniform data almost never triggers load balancing; skewed
+// data triggers it regularly, with total cost growing roughly linearly in
+// the number of insertions and a very low per-insert overhead (the paper
+// reports ~1 message per ~1500 insert/deletes at its scale).
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+uint64_t RunSeries(size_t n, uint64_t seed, int keys_per_node,
+                   workload::KeyGenerator* gen, TablePrinter* table,
+                   const char* label, bool csv_row_per_checkpoint,
+                   std::vector<std::pair<uint64_t, uint64_t>>* curve) {
+  (void)csv_row_per_checkpoint;
+  (void)table;
+  (void)label;
+  BatonConfig cfg = BalancedConfig();
+  workload::UniformKeys preload(1, 1000000000);
+  auto bi = BuildBaton(n, seed, cfg, static_cast<size_t>(keys_per_node),
+                       &preload);
+  Rng rng(Mix64(seed ^ 0x90));
+  uint64_t total_inserts = static_cast<uint64_t>(keys_per_node) * n;
+  uint64_t checkpoint = total_inserts / 10;
+  auto base = bi.net->Snapshot();
+  uint64_t insert_routing = 0;
+  for (uint64_t i = 1; i <= total_inserts; ++i) {
+    auto before = bi.net->Snapshot();
+    Status s = bi.overlay->Insert(
+        bi.members[rng.NextBelow(bi.members.size())], gen->Next(&rng));
+    BATON_CHECK(s.ok()) << s.ToString();
+    auto after = bi.net->Snapshot();
+    insert_routing += SumTypes(before, after, {net::MsgType::kInsert});
+    if (i % checkpoint == 0) {
+      // Load-balancing cost = everything beyond the plain insert routing.
+      uint64_t lb = net::Network::Delta(base, after) - insert_routing;
+      curve->emplace_back(i, lb);
+    }
+  }
+  bi.overlay->CheckInvariants();
+  return bi.overlay->load_balance_ops();
+}
+
+void Run(const Options& opt) {
+  const size_t n = opt.sizes.empty() ? 1000 : opt.sizes.front();
+  TablePrinter table({"inserts", "uniform_lb_msgs", "zipf_lb_msgs",
+                      "zipf_msgs_per_insert"});
+  std::vector<std::pair<uint64_t, uint64_t>> uni_curve, zipf_curve;
+  RunningStat uni_ops, zipf_ops;
+  for (int s = 0; s < opt.seeds; ++s) {
+    uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+    workload::UniformKeys uni(1, 1000000000);
+    workload::ZipfKeys zipf(1, 1000000000, 1.0);
+    std::vector<std::pair<uint64_t, uint64_t>> u, z;
+    uni_ops.Add(static_cast<double>(
+        RunSeries(n, seed, static_cast<int>(opt.keys_per_node), &uni, &table,
+                  "uniform", false, &u)));
+    zipf_ops.Add(static_cast<double>(
+        RunSeries(n, seed, static_cast<int>(opt.keys_per_node), &zipf, &table,
+                  "zipf", false, &z)));
+    if (uni_curve.empty()) {
+      uni_curve = u;
+      zipf_curve = z;
+    } else {
+      for (size_t i = 0; i < uni_curve.size(); ++i) {
+        uni_curve[i].second += u[i].second;
+        zipf_curve[i].second += z[i].second;
+      }
+    }
+  }
+  for (size_t i = 0; i < uni_curve.size(); ++i) {
+    uint64_t inserts = uni_curve[i].first;
+    double uni_avg = static_cast<double>(uni_curve[i].second) / opt.seeds;
+    double zipf_avg = static_cast<double>(zipf_curve[i].second) / opt.seeds;
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(inserts)),
+                  TablePrinter::Num(uni_avg), TablePrinter::Num(zipf_avg),
+                  TablePrinter::Num(zipf_avg / static_cast<double>(inserts),
+                                    4)});
+  }
+  Emit("Fig 8(g): cumulative load-balancing messages, uniform vs Zipf(1.0) "
+       "(N=" + std::to_string(n) + ", avg LB ops uniform=" +
+           TablePrinter::Num(uni_ops.mean(), 1) + " zipf=" +
+           TablePrinter::Num(zipf_ops.mean(), 1) + ")",
+       table, opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 8(h): distribution of the number of nodes involved in one
+// load-balancing restructure ("how far did one have to shift to perform the
+// forced insertion/deletion").
+//
+// Expected shape: strongly exponential decay -- most forced joins are
+// absorbed after shifting only a couple of nodes; long chains are rare.
+#include "bench_common/experiment.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+void Run(const Options& opt) {
+  const size_t n = opt.sizes.empty() ? 1000 : opt.sizes.front();
+  Histogram hist;
+  for (int s = 0; s < opt.seeds; ++s) {
+    uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+    BatonConfig cfg = BalancedConfig();
+    workload::UniformKeys preload(1, 1000000000);
+    auto bi = BuildBaton(n, seed, cfg, opt.keys_per_node, &preload);
+    Rng rng(Mix64(seed ^ 0x91));
+    workload::ZipfKeys zipf(1, 1000000000, 1.0);
+    uint64_t total = static_cast<uint64_t>(opt.keys_per_node) * n;
+    for (uint64_t i = 0; i < total; ++i) {
+      Status st = bi.overlay->Insert(
+          bi.members[rng.NextBelow(bi.members.size())], zipf.Next(&rng));
+      BATON_CHECK(st.ok()) << st.ToString();
+    }
+    bi.overlay->CheckInvariants();
+    hist.Merge(bi.overlay->shift_sizes());
+  }
+
+  TablePrinter table({"nodes_shifted", "count", "fraction"});
+  for (const auto& [value, count] : hist.Buckets()) {
+    table.AddRow({TablePrinter::Int(value),
+                  TablePrinter::Int(static_cast<int64_t>(count)),
+                  TablePrinter::Num(static_cast<double>(count) /
+                                        static_cast<double>(hist.total_count()),
+                                    4)});
+  }
+  Emit("Fig 8(h): size of the load-balancing shift (Zipf(1.0), N=" +
+           std::to_string(n) + ", " +
+           std::to_string(hist.total_count()) + " restructures)",
+       table, opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro benchmarks (google-benchmark) for the core data structures: position
+// arithmetic, routing-table slot math, key storage, end-to-end search on a
+// prebuilt overlay, and the Zipf sampler.
+#include <benchmark/benchmark.h>
+
+#include "baton/baton.h"
+#include "util/zipf.h"
+#include "workload/workload.h"
+
+namespace baton {
+namespace {
+
+void BM_PositionInOrderKey(benchmark::State& state) {
+  Position p{20, 12345};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.InOrderKey());
+    p.number = (p.number % 100000) + 1;
+  }
+}
+BENCHMARK(BM_PositionInOrderKey);
+
+void BM_RoutingTableReset(benchmark::State& state) {
+  Position p{static_cast<uint32_t>(state.range(0)), 1};
+  p.number = p.LevelWidth() / 2 + 1;
+  RoutingTable rt;
+  for (auto _ : state) {
+    rt.Reset(p, /*left=*/true);
+    benchmark::DoNotOptimize(rt.size());
+  }
+}
+BENCHMARK(BM_RoutingTableReset)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_KeyBagInsertErase(benchmark::State& state) {
+  Rng rng(1);
+  KeyBag bag;
+  for (int i = 0; i < 1000; ++i) bag.Insert(rng.UniformInt(1, 1000000000));
+  for (auto _ : state) {
+    Key k = rng.UniformInt(1, 1000000000);
+    bag.Insert(k);
+    benchmark::DoNotOptimize(bag.Erase(k));
+  }
+}
+BENCHMARK(BM_KeyBagInsertErase);
+
+void BM_KeyBagCountInRange(benchmark::State& state) {
+  Rng rng(2);
+  KeyBag bag;
+  for (int i = 0; i < 10000; ++i) bag.Insert(rng.UniformInt(1, 1000000000));
+  for (auto _ : state) {
+    Key lo = rng.UniformInt(1, 900000000);
+    benchmark::DoNotOptimize(bag.CountInRange(lo, lo + 50000000));
+  }
+}
+BENCHMARK(BM_KeyBagCountInRange);
+
+void BM_ExactSearch(benchmark::State& state) {
+  net::Network net;
+  BatonNetwork overlay(BatonConfig{}, &net, 99);
+  Rng rng(3);
+  std::vector<net::PeerId> members{overlay.Bootstrap()};
+  for (int i = 1; i < state.range(0); ++i) {
+    members.push_back(
+        overlay.Join(members[rng.NextBelow(members.size())]).value());
+  }
+  for (int i = 0; i < 10 * state.range(0); ++i) {
+    Status s = overlay.Insert(members[rng.NextBelow(members.size())],
+                              rng.UniformInt(1, 999999999));
+    BATON_CHECK(s.ok());
+  }
+  for (auto _ : state) {
+    auto res = overlay.ExactSearch(members[rng.NextBelow(members.size())],
+                                   rng.UniformInt(1, 999999999));
+    benchmark::DoNotOptimize(res.ok());
+  }
+}
+BENCHMARK(BM_ExactSearch)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_JoinLeaveCycle(benchmark::State& state) {
+  net::Network net;
+  BatonNetwork overlay(BatonConfig{}, &net, 7);
+  Rng rng(4);
+  std::vector<net::PeerId> members{overlay.Bootstrap()};
+  for (int i = 1; i < state.range(0); ++i) {
+    members.push_back(
+        overlay.Join(members[rng.NextBelow(members.size())]).value());
+  }
+  for (auto _ : state) {
+    auto joined =
+        overlay.Join(members[rng.NextBelow(members.size())]).value();
+    members.push_back(joined);
+    size_t idx = rng.NextBelow(members.size());
+    BATON_CHECK(overlay.Leave(members[idx]).ok());
+    members.erase(members.begin() + static_cast<long>(idx));
+  }
+}
+BENCHMARK(BM_JoinLeaveCycle)->Arg(1024);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(5);
+  ZipfGenerator zipf(1u << 20, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_UniformKeyGen(benchmark::State& state) {
+  Rng rng(6);
+  workload::UniformKeys gen(1, 1000000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(&rng));
+  }
+}
+BENCHMARK(BM_UniformKeyGen);
+
+}  // namespace
+}  // namespace baton
+
+BENCHMARK_MAIN();

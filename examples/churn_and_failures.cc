@@ -1,0 +1,100 @@
+// Churn and failure drill (sections III-B/C/D): peers join and leave
+// continuously, some crash without warning, queries keep routing around the
+// holes, and parent-driven recovery repairs the tree. Demonstrates the
+// paper's fault-tolerance claims end to end.
+//
+//   $ ./examples/churn_and_failures
+#include <algorithm>
+#include <cstdio>
+
+#include "baton/baton.h"
+
+int main() {
+  using namespace baton;
+
+  net::Network net;
+  BatonNetwork overlay(BatonConfig{}, &net, /*seed=*/99);
+  Rng rng(17);
+
+  std::vector<PeerId> peers{overlay.Bootstrap()};
+  while (peers.size() < 300) {
+    peers.push_back(overlay.Join(peers[rng.NextBelow(peers.size())]).value());
+  }
+  for (int i = 0; i < 15000; ++i) {
+    overlay.Insert(peers[rng.NextBelow(peers.size())],
+                   rng.UniformInt(1, 999999999))
+        .ToString();
+  }
+  std::printf("start: %zu peers, %llu keys, height %d\n", overlay.size(),
+              static_cast<unsigned long long>(overlay.total_keys()),
+              overlay.Height());
+
+  uint64_t joins = 0, leaves = 0, crashes = 0, queries = 0, detoured = 0;
+  for (int round = 1; round <= 10; ++round) {
+    // -- churn: 10 joins, 10 graceful leaves, 3 crashes per round.
+    for (int i = 0; i < 10; ++i) {
+      auto joined =
+          overlay.Join(peers[rng.NextBelow(peers.size())]);
+      if (joined.ok()) {
+        peers.push_back(joined.value());
+        ++joins;
+      }
+    }
+    for (int i = 0; i < 10; ++i) {
+      size_t idx = rng.NextBelow(peers.size());
+      if (overlay.Leave(peers[idx]).ok()) {
+        peers.erase(peers.begin() + static_cast<long>(idx));
+        ++leaves;
+      }
+    }
+    std::vector<PeerId> victims;
+    for (int i = 0; i < 3; ++i) {
+      size_t idx = rng.NextBelow(peers.size());
+      if (net.IsAlive(peers[idx])) {
+        victims.push_back(peers[idx]);
+        overlay.Fail(peers[idx]);
+        ++crashes;
+      }
+    }
+
+    // -- queries race the failures: they detour around dead peers (III-D).
+    auto before = net.Snapshot();
+    int ok_count = 0;
+    for (int q = 0; q < 200; ++q) {
+      PeerId from;
+      do {
+        from = peers[rng.NextBelow(peers.size())];
+      } while (!net.IsAlive(from));
+      auto r = overlay.ExactSearch(from, rng.UniformInt(1, 999999999));
+      if (r.ok()) ++ok_count;
+      ++queries;
+    }
+    auto after = net.Snapshot();
+    uint64_t timeouts = net::Network::DeltaOfType(before, after,
+                                                  net::MsgType::kDeadProbe);
+    detoured += timeouts;
+
+    // -- recovery: the parents repair the failed positions (III-C).
+    Status rec = overlay.RecoverAllFailures();
+    for (PeerId v : victims) {
+      peers.erase(std::remove(peers.begin(), peers.end(), v), peers.end());
+    }
+    overlay.CheckInvariants();
+    std::printf(
+        "round %2d: %3d/200 queries ok, %3llu timeouts detoured, "
+        "recovery=%s, %zu peers, height %d\n",
+        round, ok_count, static_cast<unsigned long long>(timeouts),
+        rec.ok() ? "ok" : rec.ToString().c_str(), overlay.size(),
+        overlay.Height());
+  }
+
+  std::printf(
+      "\ntotals: %llu joins, %llu leaves, %llu crashes, %llu queries, "
+      "%llu dead-peer timeouts -- structure still balanced and consistent\n",
+      static_cast<unsigned long long>(joins),
+      static_cast<unsigned long long>(leaves),
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(detoured));
+  return 0;
+}

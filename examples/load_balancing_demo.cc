@@ -1,0 +1,84 @@
+// Load balancing under skew (section IV-D): a Zipf(1.0) insert stream hammers
+// the bottom of the key space; watch adjacent-node balancing and remote
+// recruiting (with forced restructuring) keep per-node loads flat.
+//
+//   $ ./examples/load_balancing_demo
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baton/baton.h"
+#include "workload/workload.h"
+
+namespace {
+
+void PrintLoadSketch(const baton::BatonNetwork& overlay) {
+  // A coarse text histogram over the in-order member sequence.
+  std::vector<size_t> loads;
+  for (auto p : overlay.Members()) loads.push_back(overlay.node(p).data.size());
+  size_t maxload = *std::max_element(loads.begin(), loads.end());
+  const size_t buckets = 16;
+  std::printf("  load across the key space (each cell = %zu peers):\n  [",
+              loads.size() / buckets + 1);
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t from = b * loads.size() / buckets;
+    size_t to = (b + 1) * loads.size() / buckets;
+    double avg = 0;
+    for (size_t i = from; i < to; ++i) avg += static_cast<double>(loads[i]);
+    avg /= static_cast<double>(to - from);
+    int bar = maxload == 0 ? 0
+                           : static_cast<int>(9.0 * avg /
+                                              static_cast<double>(maxload));
+    std::printf("%d", bar);
+  }
+  std::printf("]  (0..9 = relative load, max=%zu keys)\n", maxload);
+}
+
+}  // namespace
+
+int main() {
+  using namespace baton;
+
+  Rng rng(23);
+  workload::ZipfKeys zipf(1, 1000000000, /*theta=*/1.0);
+
+  // One overlay with the paper's load balancing, one without, same stream.
+  for (bool balanced : {false, true}) {
+    net::Network net;
+    BatonConfig cfg;
+    cfg.enable_load_balance = balanced;
+    cfg.overload_factor = 2.2;
+    BatonNetwork overlay(cfg, &net, /*seed=*/555);
+    Rng grow_rng(29);
+    std::vector<PeerId> peers{overlay.Bootstrap()};
+    while (peers.size() < 200) {
+      peers.push_back(
+          overlay.Join(peers[grow_rng.NextBelow(peers.size())]).value());
+    }
+
+    Rng stream(31);
+    for (int i = 0; i < 40000; ++i) {
+      overlay.Insert(peers[stream.NextBelow(peers.size())], zipf.Next(&stream))
+          .ToString();
+    }
+    overlay.CheckInvariants();
+
+    size_t max_load = 0;
+    for (auto p : overlay.Members()) {
+      max_load = std::max(max_load, overlay.node(p).data.size());
+    }
+    double avg = static_cast<double>(overlay.total_keys()) /
+                 static_cast<double>(overlay.size());
+    std::printf("\n%s load balancing: max %zu keys vs %.0f average (%.1fx)\n",
+                balanced ? "WITH" : "WITHOUT", max_load, avg,
+                static_cast<double>(max_load) / avg);
+    PrintLoadSketch(overlay);
+    if (balanced) {
+      std::printf(
+          "  %llu balancing ops; restructuring shift sizes (Fig 8(h)):\n%s",
+          static_cast<unsigned long long>(overlay.load_balance_ops()),
+          overlay.shift_sizes().ToString(8).c_str());
+    }
+  }
+  return 0;
+}

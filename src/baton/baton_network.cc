@@ -1,0 +1,303 @@
+#include "baton/baton_network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace baton {
+
+BatonNetwork::BatonNetwork(const BatonConfig& config, net::Network* net,
+                           uint64_t seed)
+    : config_(config), net_(net), rng_(seed) {
+  BATON_CHECK(net != nullptr);
+  BATON_CHECK_LT(config.domain_lo, config.domain_hi);
+}
+
+BatonNode* BatonNetwork::N(PeerId p) {
+  BATON_CHECK_LT(p, nodes_.size());
+  return nodes_[p].get();
+}
+
+const BatonNode* BatonNetwork::N(PeerId p) const {
+  BATON_CHECK_LT(p, nodes_.size());
+  return nodes_[p].get();
+}
+
+BatonNode* BatonNetwork::NodeOrNull(const NodeRef& ref) {
+  if (!ref.valid()) return nullptr;
+  return N(ref.peer);
+}
+
+const BatonNode& BatonNetwork::node(PeerId p) const { return *N(p); }
+
+bool BatonNetwork::InOverlay(PeerId p) const {
+  if (p >= nodes_.size()) return false;
+  return nodes_[p]->in_overlay;
+}
+
+PeerId BatonNetwork::Bootstrap() {
+  BATON_CHECK(!bootstrapped_) << "Bootstrap must be called exactly once";
+  bootstrapped_ = true;
+  auto node = std::make_unique<BatonNode>();
+  node->id = net_->Register();
+  node->SetPosition(Position::Root());
+  node->range = Range{config_.domain_lo, config_.domain_hi};
+  node->in_overlay = true;
+  PeerId id = node->id;
+  nodes_.push_back(std::move(node));
+  IndexPosition(N(id));
+  return id;
+}
+
+void BatonNetwork::IndexPosition(BatonNode* n) {
+  auto [it, inserted] = pos_index_.emplace(n->pos.Packed(), n->id);
+  BATON_CHECK(inserted) << "position " << n->pos << " already occupied by "
+                        << it->second;
+}
+
+void BatonNetwork::UnindexPosition(BatonNode* n) {
+  auto it = pos_index_.find(n->pos.Packed());
+  BATON_CHECK(it != pos_index_.end());
+  BATON_CHECK_EQ(it->second, n->id);
+  pos_index_.erase(it);
+}
+
+PeerId BatonNetwork::OccupantOf(const Position& pos) const {
+  auto it = pos_index_.find(pos.Packed());
+  return it == pos_index_.end() ? kNullPeer : it->second;
+}
+
+std::vector<PeerId> BatonNetwork::Members() const {
+  std::vector<std::pair<uint64_t, PeerId>> order;
+  order.reserve(pos_index_.size());
+  for (const auto& [packed, id] : pos_index_) {
+    order.emplace_back(N(id)->pos.InOrderKey(), id);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<PeerId> out;
+  out.reserve(order.size());
+  for (const auto& [key, id] : order) out.push_back(id);
+  return out;
+}
+
+int BatonNetwork::Height() const {
+  int h = -1;
+  for (const auto& [packed, id] : pos_index_) {
+    h = std::max(h, static_cast<int>(N(id)->pos.level));
+  }
+  return h;
+}
+
+void BatonNetwork::ForEachInboundRef(
+    BatonNode* x, const std::function<void(BatonNode*, NodeRef*)>& fn) {
+  // The holders of links to x are exactly the targets of x's own symmetric
+  // links: its parent, children, two adjacent nodes, and the same-level nodes
+  // in its routing tables (whose opposite-side entry at the same slot points
+  // back at x, by construction).
+  if (BatonNode* p = NodeOrNull(x->parent)) {
+    NodeRef* ref = x->pos.IsLeftChild() ? &p->left_child : &p->right_child;
+    fn(p, ref);
+  }
+  if (BatonNode* c = NodeOrNull(x->left_child)) fn(c, &c->parent);
+  if (BatonNode* c = NodeOrNull(x->right_child)) fn(c, &c->parent);
+  if (BatonNode* a = NodeOrNull(x->left_adj)) fn(a, &a->right_adj);
+  if (BatonNode* a = NodeOrNull(x->right_adj)) fn(a, &a->left_adj);
+  for (int side = 0; side < 2; ++side) {
+    RoutingTable& rt = side == 0 ? x->left_rt : x->right_rt;
+    for (int i = 0; i < rt.size(); ++i) {
+      if (!rt.entry(i).valid()) continue;
+      BatonNode* nb = N(rt.entry(i).peer);
+      RoutingTable& back = side == 0 ? nb->right_rt : nb->left_rt;
+      if (i < back.size() && back.entry(i).peer == x->id) {
+        fn(nb, &back.entry(i));
+      }
+    }
+  }
+}
+
+void BatonNetwork::ApplyRefUpdate(PeerId holder_id, RefKind kind, int slot,
+                                  NodeRef payload) {
+  if (holder_id >= nodes_.size()) return;
+  BatonNode* holder = N(holder_id);
+  if (!holder->in_overlay) return;  // the holder left before delivery
+  auto set_or_clear = [&](NodeRef* ref, bool pos_must_match) {
+    if (!payload.valid()) {
+      // Clear only if the ref still points where the sender believed.
+      if (ref->valid() && ref->pos == payload.pos) ref->Clear();
+      return;
+    }
+    if (pos_must_match) *ref = payload;
+  };
+  switch (kind) {
+    case RefKind::kParent:
+      if (payload.valid() &&
+          (holder->pos.IsRoot() || holder->pos.Parent() != payload.pos)) {
+        return;  // holder moved; a fresher update will follow
+      }
+      set_or_clear(&holder->parent, true);
+      return;
+    case RefKind::kLeftChild:
+      if (payload.valid() && holder->pos.LeftChild() != payload.pos) return;
+      set_or_clear(&holder->left_child, true);
+      return;
+    case RefKind::kRightChild:
+      if (payload.valid() && holder->pos.RightChild() != payload.pos) return;
+      set_or_clear(&holder->right_child, true);
+      return;
+    case RefKind::kLeftAdj:
+      // Adjacency is between nodes, not positions: apply as sent.
+      if (!payload.valid()) {
+        set_or_clear(&holder->left_adj, false);
+      } else {
+        holder->left_adj = payload;
+      }
+      return;
+    case RefKind::kRightAdj:
+      if (!payload.valid()) {
+        set_or_clear(&holder->right_adj, false);
+      } else {
+        holder->right_adj = payload;
+      }
+      return;
+    case RefKind::kLeftRt:
+    case RefKind::kRightRt: {
+      bool left = kind == RefKind::kLeftRt;
+      RoutingTable& rt = left ? holder->left_rt : holder->right_rt;
+      if (slot < 0 || slot >= rt.size()) return;  // holder moved levels
+      if (RoutingTable::SlotPosition(holder->pos, left, slot) != payload.pos) {
+        return;  // holder's number changed; entry no longer matches
+      }
+      if (!payload.valid()) {
+        rt.entry(slot).Clear();
+      } else {
+        rt.entry(slot) = payload;
+      }
+      return;
+    }
+  }
+}
+
+void BatonNetwork::SendRefUpdate(PeerId holder, RefKind kind, int slot,
+                                 NodeRef payload) {
+  net_->Apply([this, holder, kind, slot, payload]() {
+    ApplyRefUpdate(holder, kind, slot, payload);
+  });
+}
+
+void BatonNetwork::RefreshInboundRefs(BatonNode* x, net::MsgType charge) {
+  NodeRef self = x->SelfRef();
+  PeerId xid = x->id;
+  auto send = [&](PeerId holder, RefKind kind, int slot) {
+    Count(xid, holder, charge);
+    SendRefUpdate(holder, kind, slot, self);
+  };
+  if (x->parent.valid()) {
+    send(x->parent.peer,
+         x->pos.IsLeftChild() ? RefKind::kLeftChild : RefKind::kRightChild, 0);
+  }
+  if (x->left_child.valid()) send(x->left_child.peer, RefKind::kParent, 0);
+  if (x->right_child.valid()) send(x->right_child.peer, RefKind::kParent, 0);
+  // x is the right adjacent of its left adjacent, and vice versa.
+  if (x->left_adj.valid()) send(x->left_adj.peer, RefKind::kRightAdj, 0);
+  if (x->right_adj.valid()) send(x->right_adj.peer, RefKind::kLeftAdj, 0);
+  for (int side = 0; side < 2; ++side) {
+    bool left = side == 0;
+    RoutingTable& rt = left ? x->left_rt : x->right_rt;
+    for (int i = 0; i < rt.size(); ++i) {
+      if (!rt.entry(i).valid()) continue;
+      // A node to x's left holds x in its right table at the same slot.
+      send(rt.entry(i).peer, left ? RefKind::kRightRt : RefKind::kLeftRt, i);
+    }
+  }
+}
+
+void BatonNetwork::RefreshInboundRefsUncharged(BatonNode* x) {
+  NodeRef self = x->SelfRef();
+  ForEachInboundRef(x, [&](BatonNode*, NodeRef* ref) { *ref = self; });
+}
+
+void BatonNetwork::RepairAllLinks() {
+  BATON_CHECK(!net_->defer_updates()) << "flush before repairing";
+  std::vector<PeerId> order = Members();
+  for (size_t i = 0; i < order.size(); ++i) {
+    BatonNode* n = N(order[i]);
+    // Vertical links.
+    if (n->pos.IsRoot()) {
+      n->parent.Clear();
+    } else {
+      PeerId pp = OccupantOf(n->pos.Parent());
+      BATON_CHECK_NE(pp, kNullPeer) << "orphan at " << n->pos;
+      n->parent = N(pp)->SelfRef();
+    }
+    for (bool left : {true, false}) {
+      NodeRef& ref = left ? n->left_child : n->right_child;
+      PeerId occ =
+          OccupantOf(left ? n->pos.LeftChild() : n->pos.RightChild());
+      if (occ == kNullPeer) {
+        ref.Clear();
+      } else {
+        ref = N(occ)->SelfRef();
+      }
+    }
+    // Adjacency from the in-order member sequence.
+    if (i == 0) {
+      n->left_adj.Clear();
+    } else {
+      n->left_adj = N(order[i - 1])->SelfRef();
+    }
+    if (i + 1 == order.size()) {
+      n->right_adj.Clear();
+    } else {
+      n->right_adj = N(order[i + 1])->SelfRef();
+    }
+    RebuildRoutingTables(n, /*charge=*/false);
+  }
+  // Second pass: cached metadata (child bits set above may have been copied
+  // before the target's own links were repaired).
+  for (PeerId id : order) {
+    RefreshInboundRefsUncharged(N(id));
+  }
+}
+
+void BatonNetwork::RebuildRoutingTables(BatonNode* x, bool charge) {
+  for (int side = 0; side < 2; ++side) {
+    bool left = side == 0;
+    RoutingTable& rt = left ? x->left_rt : x->right_rt;
+    rt.Reset(x->pos, left);
+    for (int i = 0; i < rt.size(); ++i) {
+      Position slot = RoutingTable::SlotPosition(x->pos, left, i);
+      PeerId occ = OccupantOf(slot);
+      if (occ == kNullPeer) continue;
+      BatonNode* nb = N(occ);
+      // One message informs nb of x's location and returns nb's metadata;
+      // nb installs the reverse entry from the same exchange. (The directory
+      // lookup stands in for the handover/probe that delivered nb's address;
+      // Theorem 2 puts that information one already-charged hop away.)
+      if (charge) Count(x->id, nb->id, net::MsgType::kTableUpdate);
+      rt.entry(i) = nb->SelfRef();
+      SendRefUpdate(occ, left ? RefKind::kRightRt : RefKind::kLeftRt, i,
+                    x->SelfRef());
+    }
+  }
+}
+
+void BatonNetwork::ClearReverseEntriesAt(const Position& pos, PeerId notifier,
+                                         bool charge) {
+  NodeRef cleared;  // peer == kNullPeer: "clear if you still point at pos"
+  cleared.pos = pos;
+  for (int side = 0; side < 2; ++side) {
+    bool left = side == 0;  // looking from `pos` toward its left/right peers
+    int slots = RoutingTable::NumSlots(pos, left);
+    for (int i = 0; i < slots; ++i) {
+      Position nb_pos = RoutingTable::SlotPosition(pos, left, i);
+      PeerId occ = OccupantOf(nb_pos);
+      if (occ == kNullPeer) continue;
+      // nb's entry pointing back at `pos` sits on its opposite side table.
+      if (charge) Count(notifier, occ, net::MsgType::kTableUpdate);
+      SendRefUpdate(occ, left ? RefKind::kRightRt : RefKind::kLeftRt, i,
+                    cleared);
+    }
+  }
+}
+
+}  // namespace baton

@@ -1,0 +1,339 @@
+// BatonNetwork: the BATON overlay (VLDB 2005) over a simulated physical
+// network.
+//
+// The class owns every peer's state and executes the paper's protocols
+// (join, leave, failure recovery, restructuring, exact/range search,
+// insert/delete, load balancing) while routing every inter-peer interaction
+// through net::Network::Count so benches can reproduce the paper's
+// message-count figures.
+//
+// Protocol code only consults a peer's local state and the metadata cached on
+// its links. The position directory (position -> peer) is simulator state:
+// protocols use it solely where the paper's protocol would obtain the same
+// information through an already-counted message exchange (these sites are
+// commented), and the invariant checker uses it freely (it models the
+// experimenter, not a peer).
+#ifndef BATON_BATON_BATON_NETWORK_H_
+#define BATON_BATON_BATON_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baton/node.h"
+#include "baton/position.h"
+#include "baton/types.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace baton {
+
+/// Tunables. Defaults reproduce the paper's setup; load balancing is off
+/// until a threshold is configured (section IV-D).
+struct BatonConfig {
+  /// Key domain [domain_lo, domain_hi); the paper uses [1, 10^9).
+  Key domain_lo = 1;
+  Key domain_hi = 1000000000;
+
+  /// Load balancing (section IV-D). A node is overloaded when it stores more
+  /// than the effective threshold; a recruit candidate is "lightly loaded"
+  /// when it stores fewer than threshold * underload_fraction keys.
+  ///
+  /// The threshold is either absolute (overload_threshold) or, when
+  /// overload_factor > 0, adaptive: factor x the current network-average
+  /// load (a peer would track this with a gossiped estimate; the simulator
+  /// reads it directly). Adaptive is what keeps loads tight while the data
+  /// volume grows.
+  bool enable_load_balance = false;
+  size_t overload_threshold = SIZE_MAX;
+  double overload_factor = 0.0;
+  double underload_fraction = 0.25;
+  /// Ablation switch: with remote recruiting off, overloaded leaves fall
+  /// back to adjacent-node balancing only ("data migration may ripple
+  /// through the network ... and incur high total overhead").
+  bool enable_remote_recruit = true;
+  /// Extension (paper footnote 2 / reference [4]): when the neighbour tables
+  /// hold no lightly loaded leaf -- deep hot-region nodes have no same-level
+  /// neighbours in shallow cold regions -- consult a skip-list load
+  /// directory to find one globally, at O(log N) extra messages per lookup.
+  bool enable_recruit_directory = false;
+
+  /// Safety net: routing aborts (Status::Exhausted) after
+  /// max_hops_factor * (tree height + 1) hops. Generous because routing under
+  /// churn (Fig 8(i)) may detour around stale links.
+  int max_hops_factor = 16;
+};
+
+class BatonNetwork {
+ public:
+  BatonNetwork(const BatonConfig& config, net::Network* net, uint64_t seed);
+  BatonNetwork(const BatonNetwork&) = delete;
+  BatonNetwork& operator=(const BatonNetwork&) = delete;
+
+  // ------------------------------------------------------------------
+  // Membership (section III).
+  // ------------------------------------------------------------------
+
+  /// Creates the first node, managing the whole key domain. Must be called
+  /// exactly once, before any Join.
+  PeerId Bootstrap();
+
+  /// A new peer joins via any existing node (section III-A): locating the
+  /// accepting node costs kJoinForward messages; splitting content, fixing
+  /// adjacent links and building the new routing tables costs the
+  /// maintenance messages the paper bounds by 6 log N.
+  Result<PeerId> Join(PeerId contact);
+
+  /// Graceful departure (section III-B): leaves directly when safe, else
+  /// finds a replacement leaf (Algorithm 2) which takes over this position.
+  Status Leave(PeerId leaver);
+
+  /// Abrupt failure (section III-C): the peer simply stops responding. Its
+  /// keys are lost (the paper's index does not replicate data); its range is
+  /// recovered by RecoverFailure. Until then routing must detour (III-D).
+  void Fail(PeerId victim);
+
+  /// Parent-driven repair of one failed node: regenerates the failed node's
+  /// routing state from the parent's own tables and runs a graceful
+  /// departure on its behalf.
+  Status RecoverFailure(PeerId failed);
+
+  /// Recovers every pending failure (retrying blocked ones until done).
+  Status RecoverAllFailures();
+
+  /// Failed-but-not-yet-recovered peers.
+  const std::vector<PeerId>& pending_failures() const { return failed_; }
+
+  // ------------------------------------------------------------------
+  // Index operations (section IV).
+  // ------------------------------------------------------------------
+
+  struct SearchResult {
+    PeerId node = kNullPeer;  // node whose range contains the key
+    bool found = false;       // true if the key is stored there
+    int hops = 0;
+  };
+  struct RangeResult {
+    std::vector<PeerId> nodes;  // nodes intersecting the range, left to right
+    uint64_t matches = 0;       // stored keys in [lo, hi)
+    int hops = 0;
+  };
+
+  /// Exact-match query issued at `from` (section IV-A).
+  Result<SearchResult> ExactSearch(PeerId from, Key key);
+
+  /// Range query [lo, hi) issued at `from` (section IV-B): routes to the
+  /// first intersecting node, then follows adjacent links.
+  Result<RangeResult> RangeSearch(PeerId from, Key lo, Key hi);
+
+  /// Insert/delete (section IV-C). Insert may trigger load balancing when
+  /// enabled (section IV-D).
+  Status Insert(PeerId from, Key key);
+  Status Delete(PeerId from, Key key);
+
+  // ------------------------------------------------------------------
+  // Introspection (simulator-side; used by tests, benches, examples).
+  // ------------------------------------------------------------------
+
+  /// Number of nodes currently in the overlay.
+  size_t size() const { return pos_index_.size(); }
+  PeerId root() const { return OccupantOf(Position::Root()); }
+  const BatonNode& node(PeerId p) const;
+  bool InOverlay(PeerId p) const;
+  /// All overlay members in in-order (key-space) order.
+  std::vector<PeerId> Members() const;
+  /// Occupant of a tree position, or kNullPeer.
+  PeerId OccupantOf(const Position& pos) const;
+  /// Height of the tree (root = level 0); -1 when empty.
+  int Height() const;
+  uint64_t total_keys() const { return total_keys_; }
+
+  /// Validates every structural invariant (balance, Theorem 1/2, adjacency,
+  /// range partitioning, link caches); CHECK-fails on violation. O(N log N).
+  void CheckInvariants() const;
+
+  /// Anti-entropy pass: every member re-derives its links (parent, children,
+  /// adjacents, routing tables) from ground truth. Stands in for the
+  /// periodic stabilisation a deployment runs to converge after heavy churn;
+  /// uncharged (it models background repair, not a counted operation).
+  /// No-op on a consistent overlay.
+  void RepairAllLinks();
+
+  /// Distribution of restructuring chain lengths (#nodes that changed
+  /// position), one sample per restructure (Fig 8(h)).
+  const Histogram& shift_sizes() const { return shift_sizes_; }
+  /// Number of completed load-balancing operations.
+  uint64_t load_balance_ops() const { return lb_ops_; }
+
+  net::Network* network() { return net_; }
+  Rng* rng() { return &rng_; }
+  const BatonConfig& config() const { return config_; }
+
+ private:
+  friend class InvariantChecker;
+
+  BatonNode* N(PeerId p);
+  const BatonNode* N(PeerId p) const;
+  BatonNode* NodeOrNull(const NodeRef& ref);
+
+  void Count(PeerId from, PeerId to, net::MsgType type) {
+    net_->Count(from, to, type);
+  }
+
+  // ---- directory maintenance (simulator state) ----
+  void IndexPosition(BatonNode* n);
+  void UnindexPosition(BatonNode* n);
+
+  // ---- link bookkeeping ----
+  /// Kinds of cached refs a peer holds; identifies the slot a remote update
+  /// targets so updates can be applied (or deferred and applied later)
+  /// defensively.
+  enum class RefKind : uint8_t {
+    kParent,
+    kLeftChild,
+    kRightChild,
+    kLeftAdj,
+    kRightAdj,
+    kLeftRt,   // entry in holder's left routing table
+    kRightRt,  // entry in holder's right routing table
+  };
+
+  /// Applies one remote cache update at `holder`, dropping it if the
+  /// holder's state no longer matches (it moved, left, or the slot is gone).
+  /// payload.peer == kNullPeer means "clear the ref if it still points at
+  /// payload.pos".
+  void ApplyRefUpdate(PeerId holder, RefKind kind, int slot, NodeRef payload);
+  /// Runs ApplyRefUpdate now, or queues it while the network defers updates
+  /// (propagation delay, Fig 8(i)). The payload is captured by value: it is
+  /// the message content at send time.
+  void SendRefUpdate(PeerId holder, RefKind kind, int slot, NodeRef payload);
+
+  /// Calls fn(holder, ref) for every link in the overlay pointing at x
+  /// (parent's child ref, children's parent refs, adjacents' refs, reverse
+  /// routing-table entries), discovered through x's own links. Immediate
+  /// mode only (holds raw pointers).
+  void ForEachInboundRef(BatonNode* x,
+                         const std::function<void(BatonNode*, NodeRef*)>& fn);
+  /// Refreshes cached metadata (pos/range/child bits) about x at every
+  /// holder, charging one `charge` message per holder.
+  void RefreshInboundRefs(BatonNode* x, net::MsgType charge);
+  void RefreshInboundRefsUncharged(BatonNode* x);
+
+  /// Re-derives both routing tables of x from the directory, charging one
+  /// kTableUpdate per populated entry and installing the reverse entries.
+  /// Protocol-equivalent: a relocated/recovering node learns each entry via
+  /// the handover/probe message charged here (Theorem 2 guarantees the
+  /// information is one hop away).
+  void RebuildRoutingTables(BatonNode* x, bool charge);
+
+  /// Null out entries pointing at vacated position `pos` in the tables of its
+  /// same-level power-of-two neighbours; one kTableUpdate each, sent by
+  /// `notifier` (the departing node or the peer handling its departure).
+  void ClearReverseEntriesAt(const Position& pos, PeerId notifier,
+                             bool charge);
+
+  // ---- join (join.cc) ----
+  PeerId FindJoinNode(PeerId contact, int* hops);
+  void AcceptChild(BatonNode* x, BatonNode* y, bool as_left);
+  void BuildChildTables(BatonNode* x, BatonNode* y);
+  void SpliceIntoAdjacency(BatonNode* y, BatonNode* x, bool before);
+  void UnspliceFromAdjacency(BatonNode* x);
+  void SplitContent(BatonNode* x, BatonNode* y, bool as_left);
+
+  // ---- leave (leave.cc) ----
+  bool SafeToRemove(const BatonNode* x) const;
+  /// The departure protocol opens with a parent handshake; under churn the
+  /// cached parent link can be stale (the position changed hands), in which
+  /// case the attempt aborts (Status::Unavailable) instead of corrupting the
+  /// range partition. `exempt_dead` names a peer allowed to be dead (the
+  /// node whose failure is being recovered: its state is regenerated at the
+  /// initiator, so the handshake succeeds through it). Always true on a
+  /// quiescent overlay.
+  bool LeaveHandshakeOk(const BatonNode* x,
+                        PeerId exempt_dead = kNullPeer) const;
+  void SafeLeaveAsLeaf(BatonNode* x, bool transfer_content);
+  /// Detaches leaf x whose content was already handed off elsewhere (load
+  /// balancing): clears links, notifies neighbours, unindexes.
+  void DetachLeaf(BatonNode* x);
+  PeerId RunFindReplacement(BatonNode* start, int* hops);
+  PeerId FindReplacementStart(BatonNode* x, int* hops);
+  void ReplaceNode(BatonNode* x, BatonNode* z, bool content_lost);
+  void RemoveLastNode(BatonNode* x);
+
+  // ---- restructuring (restructure.cc) ----
+  struct Move {
+    BatonNode* node;
+    Position to;
+  };
+  /// Forced join for load balancing: y becomes x's in-order neighbour taking
+  /// half of x's content even if x cannot legally accept a child; the
+  /// occupants shift along adjacent links until a legal slot absorbs the
+  /// chain (section III-E / Fig 4, 7). Returns #nodes that changed position.
+  int ForcedJoin(BatonNode* x, BatonNode* y, bool splice_before,
+                 bool prefer_right);
+  /// Fills the vacancy left by removing leaf position `vacated` by shifting
+  /// occupants toward it until a safely removable leaf vacates instead
+  /// (section III-E / Fig 5). Returns #nodes that changed position.
+  int FillVacancy(const Position& vacated, BatonNode* pred_hint,
+                  BatonNode* succ_hint, bool prefer_left);
+  /// Applies a chain of relocations and repairs all affected links/tables,
+  /// charging O(log N) messages per mover.
+  void RelocateNodes(const std::vector<Move>& moves);
+
+  bool TryBuildJoinChain(BatonNode* first_displaced, bool rightward,
+                         std::vector<Move>* moves);
+  bool TryBuildVacancyChain(const Position& vacated, BatonNode* start,
+                            bool leftward, std::vector<Move>* moves);
+
+  // ---- failure (failure.cc) ----
+  void RegenerateFailedState(BatonNode* x, BatonNode* initiator);
+
+  // ---- routing (search.cc) ----
+  struct RouteOutcome {
+    PeerId node = kNullPeer;
+    int hops = 0;
+  };
+  /// Routes from `from` to the node whose range contains `key`, counting one
+  /// `hop_type` message per hop; detours around dead peers (III-D), charging
+  /// kDeadProbe for each timed-out attempt.
+  Result<RouteOutcome> RouteToKey(PeerId from, Key key, net::MsgType hop_type);
+  /// Next hop decision of the search_exact algorithm, using only local state.
+  /// Returns kNullPeer when `at` already owns the key.
+  PeerId NextHop(const BatonNode* at, Key key) const;
+  /// Fault-tolerant alternative hops, best first, excluding dead `avoid`.
+  std::vector<PeerId> AlternativeHops(const BatonNode* at, Key key) const;
+
+  // ---- load balancing (load_balance.cc) ----
+  size_t EffectiveOverloadThreshold() const;
+  void MaybeLoadBalance(BatonNode* overloaded);
+  bool TryAdjacentBalance(BatonNode* overloaded);
+  bool TryRemoteRecruit(BatonNode* overloaded);
+  /// Finds the lightest leaf through the simulated load directory (footnote
+  /// 2 / [4]) and charges the O(log N) skip-list traversal.
+  BatonNode* DirectoryFindLightLeaf(BatonNode* asker, size_t light_cap);
+  /// Moves recruit f next to the overloaded node v (steps 2-4 of IV-D).
+  bool ExecuteRecruit(BatonNode* v, BatonNode* f);
+
+  // ---- members ----
+  BatonConfig config_;
+  net::Network* net_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<BatonNode>> nodes_;
+  std::unordered_map<uint64_t, PeerId> pos_index_;  // Position::Packed -> id
+  std::vector<PeerId> failed_;
+
+  uint64_t total_keys_ = 0;
+  Histogram shift_sizes_;
+  uint64_t lb_ops_ = 0;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace baton
+
+#endif  // BATON_BATON_BATON_NETWORK_H_

@@ -1,0 +1,111 @@
+// Node failure (section III-C): a failed peer stops responding; messages to
+// it are wasted (kDeadProbe) until its parent regenerates its routing state
+// ("by contacting children of nodes in its own routing tables") and runs a
+// graceful departure on its behalf. The failed node's keys are lost -- the
+// paper's index stores no replicas -- but its range is recovered, so the
+// partitioning stays contiguous.
+#include <algorithm>
+
+#include "baton/baton_network.h"
+
+namespace baton {
+
+void BatonNetwork::Fail(PeerId victim) {
+  BATON_CHECK(InOverlay(victim));
+  BATON_CHECK(net_->IsAlive(victim)) << "peer already failed";
+  net_->MarkDead(victim);
+  failed_.push_back(victim);
+}
+
+void BatonNetwork::RegenerateFailedState(BatonNode* x, BatonNode* initiator) {
+  // The initiator rebuilds x's two routing tables by querying the children
+  // of its own sideways neighbours (Theorem 2 puts every neighbour of x one
+  // hop below a neighbour of x's parent) and locates x's children the same
+  // way. In the simulator x's state object is still current -- the links
+  // kept receiving updates -- so regeneration only needs to be *charged*.
+  for (const RoutingTable* rt : {&x->left_rt, &x->right_rt}) {
+    for (int i = 0; i < rt->size(); ++i) {
+      const NodeRef& e = rt->entry(i);
+      if (!e.valid()) continue;
+      if (!net_->IsAlive(e.peer)) {
+        Count(initiator->id, e.peer, net::MsgType::kDeadProbe);
+        continue;
+      }
+      Count(initiator->id, e.peer, net::MsgType::kRecoveryProbe);
+      Count(e.peer, initiator->id, net::MsgType::kRecoveryReply);
+    }
+  }
+  for (const NodeRef* child : {&x->left_child, &x->right_child}) {
+    if (!child->valid()) continue;
+    if (!net_->IsAlive(child->peer)) {
+      Count(initiator->id, child->peer, net::MsgType::kDeadProbe);
+      continue;
+    }
+    Count(initiator->id, child->peer, net::MsgType::kRecoveryProbe);
+    Count(child->peer, initiator->id, net::MsgType::kRecoveryReply);
+  }
+}
+
+Status BatonNetwork::RecoverFailure(PeerId failed) {
+  auto it = std::find(failed_.begin(), failed_.end(), failed);
+  if (it == failed_.end()) {
+    return Status::InvalidArgument("peer is not a pending failure");
+  }
+  BatonNode* x = N(failed);
+  BATON_CHECK(x->in_overlay);
+
+  if (size() == 1) {
+    RemoveLastNode(x);
+    failed_.erase(it);
+    return Status::OK();
+  }
+
+  // Pick a live initiator: the parent if possible ("These nodes must report
+  // this failure to node y, the parent of x"), else a child or adjacent.
+  BatonNode* initiator = nullptr;
+  for (const NodeRef* cand : {&x->parent, &x->left_child, &x->right_child,
+                              &x->left_adj, &x->right_adj}) {
+    if (cand->valid() && net_->IsAlive(cand->peer) && InOverlay(cand->peer)) {
+      initiator = N(cand->peer);
+      break;
+    }
+  }
+  if (initiator == nullptr) {
+    return Status::Unavailable("no live neighbour; recover others first");
+  }
+  Count(initiator->id, initiator->id, net::MsgType::kFailureReport);
+  RegenerateFailedState(x, initiator);
+
+  if (SafeToRemove(x)) {
+    SafeLeaveAsLeaf(x, /*transfer_content=*/false);
+    failed_.erase(std::find(failed_.begin(), failed_.end(), failed));
+    return Status::OK();
+  }
+  int hops = 0;
+  PeerId zid = FindReplacementStart(x, &hops);
+  if (zid == kNullPeer) {
+    return Status::Unavailable("replacement search blocked by failures");
+  }
+  if (!LeaveHandshakeOk(N(zid), /*exempt_dead=*/x->id)) {
+    return Status::Unavailable("replacement's parent link in flux; retry");
+  }
+  ReplaceNode(x, N(zid), /*content_lost=*/true);
+  failed_.erase(std::find(failed_.begin(), failed_.end(), failed));
+  return Status::OK();
+}
+
+Status BatonNetwork::RecoverAllFailures() {
+  while (!failed_.empty()) {
+    bool progress = false;
+    std::vector<PeerId> snapshot = failed_;
+    for (PeerId f : snapshot) {
+      if (RecoverFailure(f).ok()) progress = true;
+    }
+    if (!progress) {
+      return Status::Unavailable("failure recovery cannot make progress");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace baton

@@ -1,0 +1,125 @@
+#include "baton/key_bag.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace baton {
+
+void KeyBag::Flush() const {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end());
+  std::vector<Key> merged;
+  merged.reserve(sorted_.size() + pending_.size());
+  std::merge(sorted_.begin(), sorted_.end(), pending_.begin(), pending_.end(),
+             std::back_inserter(merged));
+  sorted_ = std::move(merged);
+  pending_.clear();
+}
+
+void KeyBag::Insert(Key k) {
+  pending_.push_back(k);
+  if (pending_.size() >= kFlushThreshold) Flush();
+}
+
+bool KeyBag::Erase(Key k) {
+  auto pit = std::find(pending_.begin(), pending_.end(), k);
+  if (pit != pending_.end()) {
+    pending_.erase(pit);
+    return true;
+  }
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), k);
+  if (it != sorted_.end() && *it == k) {
+    sorted_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool KeyBag::Contains(Key k) const {
+  if (std::find(pending_.begin(), pending_.end(), k) != pending_.end()) {
+    return true;
+  }
+  return std::binary_search(sorted_.begin(), sorted_.end(), k);
+}
+
+Key KeyBag::Min() const {
+  BATON_CHECK(!empty());
+  Flush();
+  return sorted_.front();
+}
+
+Key KeyBag::Max() const {
+  BATON_CHECK(!empty());
+  Flush();
+  return sorted_.back();
+}
+
+Key KeyBag::Median() const {
+  BATON_CHECK(!empty());
+  Flush();
+  return sorted_[sorted_.size() / 2];
+}
+
+Key KeyBag::Kth(size_t i) const {
+  BATON_CHECK_LT(i, size());
+  Flush();
+  return sorted_[i];
+}
+
+size_t KeyBag::CountInRange(Key lo, Key hi) const {
+  Flush();
+  auto first = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+  auto last = std::lower_bound(sorted_.begin(), sorted_.end(), hi);
+  return static_cast<size_t>(last - first);
+}
+
+KeyBag KeyBag::ExtractBelow(Key pivot) {
+  Flush();
+  auto split = std::lower_bound(sorted_.begin(), sorted_.end(), pivot);
+  KeyBag out;
+  out.sorted_.assign(sorted_.begin(), split);
+  sorted_.erase(sorted_.begin(), split);
+  return out;
+}
+
+KeyBag KeyBag::ExtractAtLeast(Key pivot) {
+  Flush();
+  auto split = std::lower_bound(sorted_.begin(), sorted_.end(), pivot);
+  KeyBag out;
+  out.sorted_.assign(split, sorted_.end());
+  sorted_.erase(split, sorted_.end());
+  return out;
+}
+
+KeyBag KeyBag::ExtractLowest(size_t count) {
+  Flush();
+  count = std::min(count, sorted_.size());
+  KeyBag out;
+  out.sorted_.assign(sorted_.begin(), sorted_.begin() + count);
+  sorted_.erase(sorted_.begin(), sorted_.begin() + count);
+  return out;
+}
+
+KeyBag KeyBag::ExtractHighest(size_t count) {
+  Flush();
+  count = std::min(count, sorted_.size());
+  KeyBag out;
+  out.sorted_.assign(sorted_.end() - count, sorted_.end());
+  sorted_.erase(sorted_.end() - count, sorted_.end());
+  return out;
+}
+
+void KeyBag::Absorb(KeyBag* other) {
+  other->Flush();
+  for (Key k : other->sorted_) pending_.push_back(k);
+  other->sorted_.clear();
+  Flush();
+}
+
+const std::vector<Key>& KeyBag::SortedKeys() const {
+  Flush();
+  return sorted_;
+}
+
+}  // namespace baton

@@ -1,0 +1,301 @@
+// Node departure (section III-B): leaf nodes whose absence keeps the tree
+// balanced leave directly (content and range go to the parent); everyone else
+// finds a replacement leaf with Algorithm 2, which then takes over the
+// departing node's position. Message accounting follows the paper's
+// 2L1 + 2L2 + 2 (direct leave) and 8 log N (replacement) bounds.
+#include "baton/baton_network.h"
+
+namespace baton {
+
+bool BatonNetwork::SafeToRemove(const BatonNode* x) const {
+  // Theorem 1: removing x must not leave a node that has a child with a
+  // non-full routing table. x must be a leaf, and no sideways neighbour may
+  // have children (their tables would lose the entry pointing at x).
+  if (!x->IsLeaf()) return false;
+  for (const RoutingTable* rt : {&x->left_rt, &x->right_rt}) {
+    for (int i = 0; i < rt->size(); ++i) {
+      const NodeRef& e = rt->entry(i);
+      if (e.valid() && e.HasChild()) return false;
+    }
+  }
+  return true;
+}
+
+bool BatonNetwork::LeaveHandshakeOk(const BatonNode* x,
+                                    PeerId exempt_dead) const {
+  if (x->pos.IsRoot()) return true;  // the root departs via replacement
+  if (!x->parent.valid()) return false;
+  PeerId actual = OccupantOf(x->pos.Parent());
+  if (actual != x->parent.peer) return false;  // stale link: position moved
+  return net_->IsAlive(actual) || actual == exempt_dead;
+}
+
+Status BatonNetwork::Leave(PeerId leaver) {
+  if (!InOverlay(leaver)) {
+    return Status::InvalidArgument("peer is not an overlay member");
+  }
+  BatonNode* x = N(leaver);
+  if (size() == 1) {
+    RemoveLastNode(x);
+    return Status::OK();
+  }
+  if (SafeToRemove(x)) {
+    if (!LeaveHandshakeOk(x)) {
+      return Status::Unavailable("parent link in flux; retry the departure");
+    }
+    SafeLeaveAsLeaf(x, /*transfer_content=*/true);
+    return Status::OK();
+  }
+  int hops = 0;
+  PeerId zid = FindReplacementStart(x, &hops);
+  if (zid == kNullPeer) {
+    return Status::Unavailable("replacement search blocked by failures");
+  }
+  BatonNode* z = N(zid);
+  BATON_CHECK_NE(z->id, x->id);
+  if (!LeaveHandshakeOk(z)) {
+    return Status::Unavailable("replacement's parent link in flux; retry");
+  }
+  ReplaceNode(x, z, /*content_lost=*/false);
+  return Status::OK();
+}
+
+void BatonNetwork::RemoveLastNode(BatonNode* x) {
+  total_keys_ -= x->data.size();
+  x->data = KeyBag{};
+  UnindexPosition(x);
+  x->in_overlay = false;
+  net_->MarkDead(x->id);
+  bootstrapped_ = false;  // a fresh Bootstrap may restart the overlay
+}
+
+void BatonNetwork::SafeLeaveAsLeaf(BatonNode* x, bool transfer_content) {
+  BATON_CHECK(x->IsLeaf());
+  BATON_CHECK(x->parent.valid()) << "a leaf in a size>1 overlay has a parent";
+  BatonNode* p = N(x->parent.peer);
+
+  // 1. Content and range move to the parent (a leaf's range is contiguous
+  //    with its parent's: the leaf is the parent's in-order neighbour).
+  if (transfer_content) {
+    Count(x->id, p->id, net::MsgType::kContentTransfer);
+    p->data.Absorb(&x->data);
+  } else {
+    total_keys_ -= x->data.size();  // abrupt failure: keys are lost
+    x->data = KeyBag{};
+  }
+  bool was_left = x->pos.IsLeftChild();
+  if (was_left) {
+    BATON_CHECK_EQ(x->range.hi, p->range.lo);
+    p->range.lo = x->range.lo;
+    p->left_child.Clear();
+  } else {
+    BATON_CHECK_EQ(p->range.hi, x->range.lo);
+    p->range.hi = x->range.hi;
+    p->right_child.Clear();
+  }
+
+  // 2. Adjacent links bypass x.
+  UnspliceFromAdjacency(x);
+
+  // 3. LEAVE messages null the neighbours' entries pointing at x (<= 2 L2).
+  ClearReverseEntriesAt(x->pos, x->id, /*charge=*/true);
+
+  // 4. The parent's range and child bits changed: refresh every link that
+  //    caches them (<= 2 L1 sideways plus a constant).
+  RefreshInboundRefs(p, net::MsgType::kChildStatusNotify);
+
+  UnindexPosition(x);
+  x->in_overlay = false;
+  x->left_adj.Clear();
+  x->right_adj.Clear();
+  net_->MarkDead(x->id);
+}
+
+void BatonNetwork::DetachLeaf(BatonNode* x) {
+  // Load-balancing variant: x's content was already handed to an adjacent
+  // node, so only the links and the parent's child bit need fixing. The
+  // caller is responsible for rebalancing the vacated slot if necessary.
+  BATON_CHECK(x->IsLeaf());
+  BATON_CHECK(x->data.empty());
+  BATON_CHECK(x->parent.valid());
+  BatonNode* p = N(x->parent.peer);
+  Count(x->id, p->id, net::MsgType::kParentNotify);
+  if (x->pos.IsLeftChild()) {
+    p->left_child.Clear();
+  } else {
+    p->right_child.Clear();
+  }
+  UnspliceFromAdjacency(x);
+  ClearReverseEntriesAt(x->pos, x->id, /*charge=*/true);
+  RefreshInboundRefs(p, net::MsgType::kChildStatusNotify);
+  UnindexPosition(x);
+  x->in_overlay = false;
+  x->left_adj.Clear();
+  x->right_adj.Clear();
+}
+
+PeerId BatonNetwork::FindReplacementStart(BatonNode* x, int* hops) {
+  // Hop helper that respects liveness: a dead candidate costs a timed-out
+  // probe and is skipped (multiple simultaneous failures, section III-D).
+  auto live = [&](PeerId p, PeerId prober) {
+    if (net_->IsAlive(p)) return true;
+    Count(prober, p, net::MsgType::kDeadProbe);
+    return false;
+  };
+  BatonNode* start = nullptr;
+  if (x->IsLeaf()) {
+    // A leaf that cannot leave directly has a sideways neighbour with a
+    // child: the FINDREPLACEMENT request goes to that child.
+    for (const RoutingTable* rt : {&x->left_rt, &x->right_rt}) {
+      for (int i = 0; i < rt->size() && start == nullptr; ++i) {
+        const NodeRef& e = rt->entry(i);
+        if (!e.valid() || !e.HasChild() || !live(e.peer, x->id)) continue;
+        BatonNode* nb = N(e.peer);
+        Count(x->id, nb->id, net::MsgType::kReplacementForward);
+        ++*hops;
+        for (const NodeRef* c : {&nb->left_child, &nb->right_child}) {
+          if (!c->valid() || !live(c->peer, nb->id)) continue;
+          Count(nb->id, c->peer, net::MsgType::kReplacementForward);
+          ++*hops;
+          start = N(c->peer);
+          break;
+        }
+      }
+    }
+  } else {
+    // Internal node: descend through an adjacent node, "a leaf node, or as
+    // deep as possible". Prefer the deeper adjacent.
+    std::vector<const NodeRef*> adjs;
+    if (x->left_adj.valid() && x->right_adj.valid()) {
+      if (x->left_adj.pos.level >= x->right_adj.pos.level) {
+        adjs = {&x->left_adj, &x->right_adj};
+      } else {
+        adjs = {&x->right_adj, &x->left_adj};
+      }
+    } else if (x->left_adj.valid()) {
+      adjs = {&x->left_adj};
+    } else if (x->right_adj.valid()) {
+      adjs = {&x->right_adj};
+    }
+    for (const NodeRef* adj : adjs) {
+      if (!live(adj->peer, x->id)) continue;
+      Count(x->id, adj->peer, net::MsgType::kReplacementForward);
+      ++*hops;
+      start = N(adj->peer);
+      break;
+    }
+  }
+  if (start == nullptr) return kNullPeer;
+  return RunFindReplacement(start, hops);
+}
+
+PeerId BatonNetwork::RunFindReplacement(BatonNode* start, int* hops) {
+  // Algorithm 2: always descend, so at most height-of-tree steps.
+  auto live = [&](PeerId p, PeerId prober) {
+    if (net_->IsAlive(p)) return true;
+    Count(prober, p, net::MsgType::kDeadProbe);
+    return false;
+  };
+  BatonNode* n = start;
+  int guard = config_.max_hops_factor * (Height() + 2) + 8;
+  while (true) {
+    if (--guard < 0) {
+      BATON_CHECK(net_->defer_updates()) << "FindReplacement did not terminate";
+      return kNullPeer;
+    }
+    BatonNode* deeper = nullptr;
+    for (const NodeRef* c : {&n->left_child, &n->right_child}) {
+      if (!c->valid() || !live(c->peer, n->id)) continue;
+      Count(n->id, c->peer, net::MsgType::kReplacementForward);
+      ++*hops;
+      deeper = N(c->peer);
+      break;
+    }
+    if (deeper == nullptr) {
+      // n is a (reachable) leaf; a sideways neighbour with children sends us
+      // deeper.
+      for (const RoutingTable* rt : {&n->left_rt, &n->right_rt}) {
+        for (int i = 0; i < rt->size() && deeper == nullptr; ++i) {
+          const NodeRef& e = rt->entry(i);
+          if (!e.valid() || !e.HasChild() || !live(e.peer, n->id)) continue;
+          BatonNode* nb = N(e.peer);
+          Count(n->id, nb->id, net::MsgType::kReplacementForward);
+          ++*hops;
+          for (const NodeRef* c : {&nb->left_child, &nb->right_child}) {
+            if (!c->valid() || !live(c->peer, nb->id)) continue;
+            Count(nb->id, c->peer, net::MsgType::kReplacementForward);
+            ++*hops;
+            deeper = N(c->peer);
+            break;
+          }
+        }
+      }
+    }
+    if (deeper == nullptr) {
+      // No children anywhere in sight: n itself is the replacement, unless
+      // its own departure would be unsafe because a dead neighbour still has
+      // children (rare multi-failure corner: give up and let the caller
+      // retry after other recoveries).
+      return SafeToRemove(n) ? n->id : kNullPeer;
+    }
+    n = deeper;
+  }
+}
+
+void BatonNetwork::ReplaceNode(BatonNode* x, BatonNode* z, bool content_lost) {
+  BATON_CHECK(z->IsLeaf());
+  // Under deferred updates stale child bits can make an actually-unsafe leaf
+  // look safe; structurally the replacement still works (transient imbalance
+  // the network repairs as updates propagate).
+  if (!net_->defer_updates()) {
+    BATON_CHECK(SafeToRemove(z)) << "Algorithm 2 must return a safe leaf";
+  }
+  // A failed node's keys are gone. Account for them *before* z's departure:
+  // if z happens to be x's child, z's own keys transfer into x's (dead)
+  // store below and must not be double-counted as lost -- z reclaims them in
+  // the handover.
+  if (content_lost) {
+    total_keys_ -= x->data.size();
+    x->data = KeyBag{};
+  }
+
+  // 1. z leaves its own position gracefully (content to its parent). This
+  //    also fixes x's own links if z happened to be x's child or adjacent.
+  //    The physical peer stays up -- it is about to re-appear at x's
+  //    position -- so undo the departure's liveness bookkeeping.
+  SafeLeaveAsLeaf(z, /*transfer_content=*/true);
+  net_->MarkAlive(z->id);
+
+  // 2. z assumes x's position, range, data and links (one bulk handover).
+  if (!content_lost) {
+    Count(x->id, z->id, net::MsgType::kContentTransfer);
+  }
+  UnindexPosition(x);
+  z->SetPosition(x->pos);
+  z->in_overlay = true;
+  z->range = x->range;
+  z->data = KeyBag{};
+  z->data.Absorb(&x->data);
+  z->parent = x->parent;
+  z->left_child = x->left_child;
+  z->right_child = x->right_child;
+  z->left_adj = x->left_adj;
+  z->right_adj = x->right_adj;
+  z->left_rt = x->left_rt;
+  z->right_rt = x->right_rt;
+  IndexPosition(z);
+
+  // 3. "all nodes with links to x must be informed to change the physical
+  //    (IP) address of the link to point to y instead of x."
+  RefreshInboundRefs(z, net::MsgType::kReplacementNotify);
+
+  x->in_overlay = false;
+  x->parent.Clear();
+  x->left_child.Clear();
+  x->right_child.Clear();
+  x->left_adj.Clear();
+  x->right_adj.Clear();
+  net_->MarkDead(x->id);
+}
+
+}  // namespace baton

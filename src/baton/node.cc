@@ -1,0 +1,45 @@
+#include "baton/node.h"
+
+namespace baton {
+
+int RoutingTable::NumSlots(const Position& pos, bool left) {
+  int n = 0;
+  if (left) {
+    // Slots while number - 2^i >= 1.
+    while (pos.number > (uint64_t{1} << n)) ++n;
+  } else {
+    // Slots while number + 2^i <= 2^level.
+    while (pos.number + (uint64_t{1} << n) <= pos.LevelWidth()) ++n;
+  }
+  return n;
+}
+
+void RoutingTable::Reset(const Position& pos, bool left) {
+  entries_.assign(static_cast<size_t>(NumSlots(pos, left)), NodeRef{});
+}
+
+bool RoutingTable::IsFull() const {
+  for (const NodeRef& e : entries_) {
+    if (!e.valid()) return false;
+  }
+  return true;
+}
+
+Position RoutingTable::SlotPosition(const Position& pos, bool left, int i) {
+  uint64_t d = uint64_t{1} << i;
+  if (left) {
+    BATON_CHECK_GT(pos.number, d);
+    return Position{pos.level, pos.number - d};
+  }
+  BATON_CHECK_LE(pos.number + d, pos.LevelWidth());
+  return Position{pos.level, pos.number + d};
+}
+
+int RoutingTable::SlotForDistance(uint64_t d) {
+  if (d == 0 || (d & (d - 1)) != 0) return -1;
+  int i = 0;
+  while ((uint64_t{1} << i) != d) ++i;
+  return i;
+}
+
+}  // namespace baton

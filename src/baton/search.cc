@@ -1,0 +1,201 @@
+// Index operations (section IV) and fault-tolerant routing (section III-D).
+//
+// Every hop decision uses only the local node's range and the ranges cached
+// on its links, exactly as the paper's search_exact algorithm prescribes.
+#include <algorithm>
+
+#include "baton/baton_network.h"
+
+namespace baton {
+
+PeerId BatonNetwork::NextHop(const BatonNode* at, Key key) const {
+  if (at->range.Contains(key)) return kNullPeer;
+  if (key >= at->range.hi) {
+    // Rightward: the farthest right-table node whose lower bound is <= key.
+    for (int i = at->right_rt.size() - 1; i >= 0; --i) {
+      const NodeRef& e = at->right_rt.entry(i);
+      if (e.valid() && e.range.lo <= key) return e.peer;
+    }
+    if (at->right_child.valid()) return at->right_child.peer;
+    if (at->right_adj.valid()) return at->right_adj.peer;
+    return kNullPeer;  // rightmost node: key beyond the domain
+  }
+  // Leftward mirror: the farthest left-table node whose upper bound is > key.
+  for (int i = at->left_rt.size() - 1; i >= 0; --i) {
+    const NodeRef& e = at->left_rt.entry(i);
+    if (e.valid() && e.range.hi > key) return e.peer;
+  }
+  if (at->left_child.valid()) return at->left_child.peer;
+  if (at->left_adj.valid()) return at->left_adj.peer;
+  return kNullPeer;  // leftmost node: key before the domain
+}
+
+std::vector<PeerId> BatonNetwork::AlternativeHops(const BatonNode* at,
+                                                  Key key) const {
+  // Candidates that still make monotone progress toward the key, best
+  // (farthest jump) first. Next, same-level entries that fall short of the
+  // key (nearest first): lateral moves around the dead region that approach
+  // the target from the far side -- the sideways variant of III-D's
+  // "neighbour of the parent" repair. The parent is last: it can bounce the
+  // route back down, so it is only a final resort.
+  std::vector<PeerId> out;
+  if (key >= at->range.hi) {
+    for (int i = at->right_rt.size() - 1; i >= 0; --i) {
+      const NodeRef& e = at->right_rt.entry(i);
+      if (e.valid() && e.range.lo <= key) out.push_back(e.peer);
+    }
+    if (at->right_child.valid()) out.push_back(at->right_child.peer);
+    if (at->right_adj.valid()) out.push_back(at->right_adj.peer);
+    for (int i = 0; i < at->right_rt.size(); ++i) {
+      const NodeRef& e = at->right_rt.entry(i);
+      if (e.valid() && e.range.lo > key) out.push_back(e.peer);
+    }
+  } else {
+    for (int i = at->left_rt.size() - 1; i >= 0; --i) {
+      const NodeRef& e = at->left_rt.entry(i);
+      if (e.valid() && e.range.hi > key) out.push_back(e.peer);
+    }
+    if (at->left_child.valid()) out.push_back(at->left_child.peer);
+    if (at->left_adj.valid()) out.push_back(at->left_adj.peer);
+    for (int i = 0; i < at->left_rt.size(); ++i) {
+      const NodeRef& e = at->left_rt.entry(i);
+      if (e.valid() && e.range.hi <= key) out.push_back(e.peer);
+    }
+  }
+  if (at->parent.valid()) out.push_back(at->parent.peer);
+  return out;
+}
+
+Result<BatonNetwork::RouteOutcome> BatonNetwork::RouteToKey(
+    PeerId from, Key key, net::MsgType hop_type) {
+  if (!InOverlay(from)) {
+    return Status::InvalidArgument("query origin is not an overlay member");
+  }
+  const BatonNode* cur = N(from);
+  RouteOutcome out;
+  int guard = config_.max_hops_factor * (Height() + 2) + 8;
+  while (true) {
+    if (--guard < 0) {
+      return Status::Exhausted("hop budget exceeded routing to key " +
+                               std::to_string(key));
+    }
+    PeerId next = NextHop(cur, key);
+    if (next == kNullPeer) {
+      out.node = cur->id;
+      return out;
+    }
+    if (!net_->IsAlive(next)) {
+      // Timeout on the preferred hop; detour via an alternative (III-D).
+      Count(cur->id, next, net::MsgType::kDeadProbe);
+      PeerId alt = kNullPeer;
+      for (PeerId cand : AlternativeHops(cur, key)) {
+        if (cand == next) continue;
+        if (net_->IsAlive(cand)) {
+          alt = cand;
+          break;
+        }
+        Count(cur->id, cand, net::MsgType::kDeadProbe);
+      }
+      if (alt == kNullPeer) {
+        return Status::Unavailable("no live route toward key " +
+                                   std::to_string(key));
+      }
+      next = alt;
+    }
+    Count(cur->id, next, hop_type);
+    ++out.hops;
+    cur = N(next);
+  }
+}
+
+Result<BatonNetwork::SearchResult> BatonNetwork::ExactSearch(PeerId from,
+                                                             Key key) {
+  auto routed = RouteToKey(from, key, net::MsgType::kExactQuery);
+  if (!routed.ok()) return routed.status();
+  SearchResult res;
+  res.node = routed.value().node;
+  res.hops = routed.value().hops;
+  const BatonNode* owner = N(res.node);
+  res.found = owner->range.Contains(key) && owner->data.Contains(key);
+  return res;
+}
+
+Result<BatonNetwork::RangeResult> BatonNetwork::RangeSearch(PeerId from,
+                                                            Key lo, Key hi) {
+  if (lo >= hi) return Status::InvalidArgument("empty range");
+  // Route to the first node intersecting [lo, hi) -- same as routing to lo
+  // (clamped into the domain so boundary queries land on the edge node).
+  Key target = std::max(lo, config_.domain_lo);
+  auto routed = RouteToKey(from, target, net::MsgType::kRangeQuery);
+  if (!routed.ok()) return routed.status();
+
+  RangeResult res;
+  res.hops = routed.value().hops;
+  const BatonNode* cur = N(routed.value().node);
+  int guard = static_cast<int>(size()) + 8;
+  // "We then proceed ... right to cover the remainder of the searched range":
+  // one adjacent hop per additional intersecting node, O(1) each.
+  while (true) {
+    BATON_CHECK_GE(--guard, 0);
+    if (cur->range.Intersects(lo, hi)) {
+      res.nodes.push_back(cur->id);
+      res.matches += cur->data.CountInRange(lo, hi);
+    }
+    if (cur->range.hi >= hi) break;
+    if (!cur->right_adj.valid()) break;
+    PeerId next = cur->right_adj.peer;
+    if (!net_->IsAlive(next)) {
+      // Skip over the failed neighbour: its keys are unavailable, but the
+      // scan can resume at the next live range (repair path of III-D).
+      Count(cur->id, next, net::MsgType::kDeadProbe);
+      Key resume = cur->right_adj.range.hi;
+      if (resume >= hi) break;
+      auto rerouted = RouteToKey(cur->id, resume, net::MsgType::kRangeScan);
+      if (!rerouted.ok()) break;
+      res.hops += rerouted.value().hops;
+      cur = N(rerouted.value().node);
+      continue;
+    }
+    Count(cur->id, next, net::MsgType::kRangeScan);
+    ++res.hops;
+    cur = N(next);
+  }
+  return res;
+}
+
+Status BatonNetwork::Insert(PeerId from, Key key) {
+  auto routed = RouteToKey(from, key, net::MsgType::kInsert);
+  if (!routed.ok()) return routed.status();
+  BatonNode* owner = N(routed.value().node);
+  if (!owner->range.Contains(key)) {
+    // Domain expansion at the edge nodes (section IV-C): the leftmost or
+    // rightmost node widens its range and must refresh the links caching it,
+    // "an additional log N step for updating its routing tables".
+    if (key < owner->range.lo && !owner->left_adj.valid()) {
+      owner->range.lo = key;
+    } else if (key >= owner->range.hi && !owner->right_adj.valid()) {
+      owner->range.hi = key + 1;
+    } else {
+      return Status::Internal("routing terminated off-range at node " +
+                              owner->pos.ToString());
+    }
+    RefreshInboundRefs(owner, net::MsgType::kRangeUpdate);
+  }
+  owner->data.Insert(key);
+  ++total_keys_;
+  MaybeLoadBalance(owner);
+  return Status::OK();
+}
+
+Status BatonNetwork::Delete(PeerId from, Key key) {
+  auto routed = RouteToKey(from, key, net::MsgType::kDelete);
+  if (!routed.ok()) return routed.status();
+  BatonNode* owner = N(routed.value().node);
+  if (!owner->data.Erase(key)) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  --total_keys_;
+  return Status::OK();
+}
+
+}  // namespace baton

@@ -1,0 +1,206 @@
+#include "bench_common/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace baton {
+namespace bench {
+
+namespace {
+
+std::vector<size_t> ParseSizes(const char* arg) {
+  std::vector<size_t> out;
+  size_t cur = 0;
+  bool any = false;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + static_cast<size_t>(*p - '0');
+      any = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (any) out.push_back(cur);
+      cur = 0;
+      any = false;
+      if (*p == '\0') break;
+    } else {
+      std::fprintf(stderr, "bad --sizes value: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--paper_scale") == 0) {
+      opt.keys_per_node = 1000;
+      opt.seeds = 10;
+      opt.sizes = {1000, 2000, 4000, 6000, 8000, 10000};
+    } else if (std::strcmp(a, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strncmp(a, "--seeds=", 8) == 0) {
+      opt.seeds = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--keys=", 7) == 0) {
+      opt.keys_per_node = static_cast<size_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      opt.queries = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--sizes=", 8) == 0) {
+      opt.sizes = ParseSizes(a + 8);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      opt.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nflags: --paper_scale --csv --seeds=N "
+                   "--keys=N --queries=N --sizes=a,b,c --seed=S\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+BatonConfig BalancedConfig() {
+  BatonConfig cfg;
+  cfg.enable_load_balance = true;
+  cfg.overload_factor = 2.2;
+  return cfg;
+}
+
+BatonInstance BuildBaton(size_t n, uint64_t seed, BatonConfig cfg,
+                         size_t keys_per_node,
+                         workload::KeyGenerator* preload) {
+  // "For a network of size N, 1000 x N data values ... are inserted in
+  // batches": joins and insert batches interleave, so load balancing (when
+  // enabled in cfg) keeps per-node loads -- and therefore ranges -- matched
+  // to the data distribution as the overlay grows.
+  BatonInstance bi;
+  bi.net = std::make_unique<net::Network>();
+  bi.overlay = std::make_unique<BatonNetwork>(cfg, bi.net.get(), seed);
+  Rng rng(Mix64(seed ^ 0xba70));
+  bi.members.push_back(bi.overlay->Bootstrap());
+  auto insert_batch = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      net::PeerId from = bi.members[rng.NextBelow(bi.members.size())];
+      Status s = bi.overlay->Insert(from, preload->Next(&rng));
+      BATON_CHECK(s.ok()) << s.ToString();
+    }
+  };
+  if (preload != nullptr) insert_batch(keys_per_node);
+  for (size_t i = 1; i < n; ++i) {
+    net::PeerId contact = bi.members[rng.NextBelow(bi.members.size())];
+    auto joined = bi.overlay->Join(contact);
+    BATON_CHECK(joined.ok()) << joined.status().ToString();
+    bi.members.push_back(joined.value());
+    if (preload != nullptr) insert_batch(keys_per_node);
+  }
+  return bi;
+}
+
+void LoadBaton(BatonInstance* bi, size_t keys_per_node,
+               workload::KeyGenerator* gen, Rng* rng) {
+  size_t total = keys_per_node * bi->overlay->size();
+  for (size_t i = 0; i < total; ++i) {
+    net::PeerId from = bi->members[rng->NextBelow(bi->members.size())];
+    Status s = bi->overlay->Insert(from, gen->Next(rng));
+    BATON_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+ChordInstance BuildChord(size_t n, uint64_t seed) {
+  ChordInstance ci;
+  ci.net = std::make_unique<net::Network>();
+  ci.ring = std::make_unique<chord::ChordNetwork>(ci.net.get(), seed);
+  Rng rng(Mix64(seed ^ 0xc08d));
+  ci.members.push_back(ci.ring->Bootstrap());
+  for (size_t i = 1; i < n; ++i) {
+    net::PeerId contact = ci.members[rng.NextBelow(ci.members.size())];
+    auto joined = ci.ring->Join(contact);
+    BATON_CHECK(joined.ok()) << joined.status().ToString();
+    ci.members.push_back(joined.value());
+  }
+  return ci;
+}
+
+void LoadChord(ChordInstance* ci, size_t keys_per_node,
+               workload::KeyGenerator* gen, Rng* rng) {
+  size_t total = keys_per_node * ci->ring->size();
+  for (size_t i = 0; i < total; ++i) {
+    net::PeerId from = ci->members[rng->NextBelow(ci->members.size())];
+    Status s = ci->ring->Insert(from, gen->Next(rng));
+    BATON_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+MultiwayInstance BuildMultiway(size_t n, uint64_t seed, int fanout,
+                               size_t keys_per_node,
+                               workload::KeyGenerator* preload) {
+  MultiwayInstance mi;
+  mi.net = std::make_unique<net::Network>();
+  multiway::MultiwayConfig cfg;
+  cfg.max_fanout = fanout;
+  mi.tree = std::make_unique<multiway::MultiwayNetwork>(cfg, mi.net.get(),
+                                                        seed);
+  Rng rng(Mix64(seed ^ 0x3712));
+  mi.members.push_back(mi.tree->Bootstrap());
+  auto insert_batch = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      net::PeerId from = mi.members[rng.NextBelow(mi.members.size())];
+      Status s = mi.tree->Insert(from, preload->Next(&rng));
+      BATON_CHECK(s.ok()) << s.ToString();
+    }
+  };
+  if (preload != nullptr) insert_batch(keys_per_node);
+  for (size_t i = 1; i < n; ++i) {
+    net::PeerId contact = mi.members[rng.NextBelow(mi.members.size())];
+    auto joined = mi.tree->Join(contact);
+    BATON_CHECK(joined.ok()) << joined.status().ToString();
+    mi.members.push_back(joined.value());
+    if (preload != nullptr) insert_batch(keys_per_node);
+  }
+  return mi;
+}
+
+void LoadMultiway(MultiwayInstance* mi, size_t keys_per_node,
+                  workload::KeyGenerator* gen, Rng* rng) {
+  size_t total = keys_per_node * mi->tree->size();
+  for (size_t i = 0; i < total; ++i) {
+    net::PeerId from = mi->members[rng->NextBelow(mi->members.size())];
+    Status s = mi->tree->Insert(from, gen->Next(rng));
+    BATON_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+uint64_t SumTypes(const net::CounterSnapshot& before,
+                  const net::CounterSnapshot& after,
+                  std::initializer_list<net::MsgType> types) {
+  uint64_t sum = 0;
+  for (net::MsgType t : types) {
+    sum += net::Network::DeltaOfType(before, after, t);
+  }
+  return sum;
+}
+
+uint64_t MaintenanceDelta(const net::CounterSnapshot& before,
+                          const net::CounterSnapshot& after) {
+  uint64_t sum = 0;
+  for (int i = 0; i < net::kNumMsgTypes; ++i) {
+    auto t = static_cast<net::MsgType>(i);
+    if (net::CategoryOf(t) == net::MsgCategory::kMaintenance) {
+      sum += net::Network::DeltaOfType(before, after, t);
+    }
+  }
+  return sum;
+}
+
+void Emit(const std::string& title, const TablePrinter& table, bool csv) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("%s\n", csv ? table.ToCsv().c_str() : table.ToText().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace baton

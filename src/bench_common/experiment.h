@@ -1,0 +1,99 @@
+// Shared harness for the figure benches: network builders, data loaders,
+// option parsing and table output. Each bench binary reproduces one panel of
+// the paper's Figure 8 and prints the series the paper plots.
+//
+// Default scale (N up to 8000, 100 keys/node, 2 seeds) keeps every binary
+// fast; pass --paper_scale for the paper's setup (N = 1000..10000, 1000
+// keys/node, 10 seeds).
+#ifndef BATON_BENCH_COMMON_EXPERIMENT_H_
+#define BATON_BENCH_COMMON_EXPERIMENT_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baton/baton.h"
+#include "chord/chord_network.h"
+#include "multiway/multiway_network.h"
+#include "util/table_printer.h"
+#include "workload/workload.h"
+
+namespace baton {
+namespace bench {
+
+struct Options {
+  std::vector<size_t> sizes = {1000, 2000, 4000, 8000};
+  size_t keys_per_node = 100;
+  int queries = 1000;
+  int seeds = 2;
+  uint64_t base_seed = 20260608;
+  bool csv = false;
+};
+
+/// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
+/// --sizes=a,b,c. Unknown flags abort with usage.
+Options ParseOptions(int argc, char** argv);
+
+/// Standard experiment configuration: load balancing on with an adaptive
+/// threshold (overloaded = 2.2x the current network-average load, so
+/// uniform workloads trip it only on outliers). Section IV-D's machinery is
+/// what keeps node loads -- and thus ranges -- matched to the data
+/// distribution.
+BatonConfig BalancedConfig();
+
+struct BatonInstance {
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<BatonNetwork> overlay;
+  std::vector<net::PeerId> members;
+};
+/// Builds an overlay of n nodes joined via random contacts. When `preload`
+/// is non-null, keys_per_node * n keys are loaded before growth (the paper
+/// inserts its data "in batches" as the network forms): every join then
+/// splits ranges at the content median, so node ranges stay proportional to
+/// the data distribution -- the property the load figures depend on.
+BatonInstance BuildBaton(size_t n, uint64_t seed, BatonConfig cfg = {},
+                         size_t keys_per_node = 0,
+                         workload::KeyGenerator* preload = nullptr);
+/// Inserts keys_per_node * n additional keys from random origins.
+void LoadBaton(BatonInstance* bi, size_t keys_per_node,
+               workload::KeyGenerator* gen, Rng* rng);
+
+struct ChordInstance {
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNetwork> ring;
+  std::vector<net::PeerId> members;
+};
+ChordInstance BuildChord(size_t n, uint64_t seed);
+void LoadChord(ChordInstance* ci, size_t keys_per_node,
+               workload::KeyGenerator* gen, Rng* rng);
+
+struct MultiwayInstance {
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<multiway::MultiwayNetwork> tree;
+  std::vector<net::PeerId> members;
+};
+/// Same preload-then-grow scheme as BuildBaton (the multiway tree also
+/// splits at the content median).
+MultiwayInstance BuildMultiway(size_t n, uint64_t seed, int fanout = 4,
+                               size_t keys_per_node = 0,
+                               workload::KeyGenerator* preload = nullptr);
+void LoadMultiway(MultiwayInstance* mi, size_t keys_per_node,
+                  workload::KeyGenerator* gen, Rng* rng);
+
+/// Sum of per-type deltas between two counter snapshots.
+uint64_t SumTypes(const net::CounterSnapshot& before,
+                  const net::CounterSnapshot& after,
+                  std::initializer_list<net::MsgType> types);
+
+/// Messages in the maintenance category (routing-table/link updates).
+uint64_t MaintenanceDelta(const net::CounterSnapshot& before,
+                          const net::CounterSnapshot& after);
+
+/// Prints a titled table (text or CSV per options).
+void Emit(const std::string& title, const TablePrinter& table, bool csv);
+
+}  // namespace bench
+}  // namespace baton
+
+#endif  // BATON_BENCH_COMMON_EXPERIMENT_H_

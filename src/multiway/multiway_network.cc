@@ -1,0 +1,433 @@
+#include "multiway/multiway_network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace baton {
+namespace multiway {
+
+MultiwayNetwork::MultiwayNetwork(const MultiwayConfig& config,
+                                 net::Network* net, uint64_t seed)
+    : config_(config), net_(net), rng_(seed) {
+  BATON_CHECK(net != nullptr);
+  BATON_CHECK_GE(config.max_fanout, 1);
+  BATON_CHECK_LT(config.domain_lo, config.domain_hi);
+}
+
+MultiwayNode* MultiwayNetwork::N(PeerId p) {
+  BATON_CHECK_LT(p, nodes_.size());
+  return nodes_[p].get();
+}
+
+const MultiwayNode* MultiwayNetwork::N(PeerId p) const {
+  BATON_CHECK_LT(p, nodes_.size());
+  return nodes_[p].get();
+}
+
+const MultiwayNode& MultiwayNetwork::node(PeerId p) const { return *N(p); }
+
+PeerId MultiwayNetwork::Bootstrap() {
+  BATON_CHECK_EQ(live_count_, 0u);
+  auto n = std::make_unique<MultiwayNode>();
+  n->id = net_->Register();
+  n->in_overlay = true;
+  n->range = Range{config_.domain_lo, config_.domain_hi};
+  n->extent = n->range;
+  root_ = n->id;
+  nodes_.push_back(std::move(n));
+  ++live_count_;
+  return root_;
+}
+
+Result<PeerId> MultiwayNetwork::Join(PeerId contact) {
+  if (contact >= nodes_.size() || !N(contact)->in_overlay) {
+    return Status::InvalidArgument("contact is not an overlay member");
+  }
+  // Placement is data-driven: the join request is first routed to the owner
+  // of a random point of the key space (sharing load where the data lives),
+  // then descends to the first node with a free child slot, choosing a
+  // random branch below full nodes (the structure imposes no balance). A
+  // node whose range is too narrow to split -- deep in a degenerated chain
+  // -- bounces the request to a neighbour; these wasted hops are all part of
+  // the baseline's join cost.
+  Key target = rng_.UniformInt(config_.domain_lo, config_.domain_hi - 1);
+  auto routed = Route(contact, target, net::MsgType::kMultiwayJoinForward);
+  if (!routed.ok()) return routed.status();
+  MultiwayNode* x = N(routed.value().node);
+  int guard = 4 * static_cast<int>(size()) + 64;
+  while (static_cast<int>(x->children.size()) >= config_.max_fanout ||
+         x->range.Width() < 2) {
+    BATON_CHECK_GE(--guard, 0) << "multiway join did not find a spot";
+    PeerId next = kNullPeer;
+    if (static_cast<int>(x->children.size()) >= config_.max_fanout) {
+      next = x->children[rng_.NextBelow(x->children.size())];
+    } else if (x->right_nb != kNullPeer &&
+               (x->left_nb == kNullPeer || rng_.NextBool(0.5))) {
+      next = x->right_nb;
+    } else {
+      next = x->left_nb;
+    }
+    BATON_CHECK_NE(next, kNullPeer);
+    net_->Count(x->id, next, net::MsgType::kMultiwayJoinForward);
+    x = N(next);
+  }
+
+  auto fresh = std::make_unique<MultiwayNode>();
+  fresh->id = net_->Register();
+  PeerId yid = fresh->id;
+  nodes_.push_back(std::move(fresh));
+  x = N(x->id);  // re-derive after push_back
+  MultiwayNode* y = N(yid);
+  y->in_overlay = true;
+  y->parent = x->id;
+  y->depth = x->depth + 1;
+  ++live_count_;
+
+  // Split the lower half of x's direct range (content median when possible).
+  Key split = x->data.size() >= 2 ? x->data.Median() : x->range.Mid();
+  split = std::max(x->range.lo + 1, std::min(split, x->range.hi - 1));
+  y->range = Range{x->range.lo, split};
+  y->extent = y->range;
+  y->data = x->data.ExtractBelow(split);
+  x->range.lo = split;
+  net_->Count(x->id, yid, net::MsgType::kContentTransfer);
+
+  x->children.push_back(yid);
+  // Splice y into the neighbour chain just left of x.
+  y->right_nb = x->id;
+  y->left_nb = x->left_nb;
+  if (x->left_nb != kNullPeer) {
+    net_->Count(yid, x->left_nb, net::MsgType::kMultiwayLinkUpdate);
+    N(x->left_nb)->right_nb = yid;
+  }
+  x->left_nb = yid;
+  net_->Count(x->id, yid, net::MsgType::kMultiwayLinkUpdate);
+  return yid;
+}
+
+Result<MultiwayNetwork::SearchResult> MultiwayNetwork::Route(
+    PeerId from, Key key, net::MsgType hop_type) {
+  if (from >= nodes_.size() || !N(from)->in_overlay) {
+    return Status::InvalidArgument("query origin is not an overlay member");
+  }
+  Key k = std::clamp(key, config_.domain_lo, config_.domain_hi - 1);
+  MultiwayNode* n = N(from);
+  SearchResult res;
+  int guard = 4 * (Depth() + 2) * std::max(1, config_.max_fanout) +
+              static_cast<int>(size());
+  while (!n->range.Contains(k)) {
+    BATON_CHECK_GE(--guard, 0) << "multiway routing did not terminate";
+    if (n->extent.Contains(k)) {
+      // Descend: probe children one at a time until one claims the key.
+      PeerId next = kNullPeer;
+      for (PeerId c : n->children) {
+        net_->Count(n->id, c, net::MsgType::kMultiwayProbe);
+        ++res.hops;
+        if (N(c)->extent.Contains(k)) {
+          next = c;
+          break;
+        }
+      }
+      BATON_CHECK_NE(next, kNullPeer)
+          << "extent of node " << n->id << " does not partition";
+      net_->Count(n->id, next, hop_type);
+      ++res.hops;
+      n = N(next);
+    } else {
+      BATON_CHECK_NE(n->parent, kNullPeer)
+          << "root extent must cover the domain";
+      net_->Count(n->id, n->parent, hop_type);
+      ++res.hops;
+      n = N(n->parent);
+    }
+  }
+  res.node = n->id;
+  return res;
+}
+
+Result<MultiwayNetwork::SearchResult> MultiwayNetwork::ExactSearch(PeerId from,
+                                                                   Key key) {
+  auto routed = Route(from, key, net::MsgType::kMultiwaySearch);
+  if (!routed.ok()) return routed.status();
+  SearchResult res = routed.value();
+  const MultiwayNode* owner = N(res.node);
+  res.found = owner->range.Contains(key) && owner->data.Contains(key);
+  return res;
+}
+
+Result<MultiwayNetwork::RangeResult> MultiwayNetwork::RangeSearch(PeerId from,
+                                                                  Key lo,
+                                                                  Key hi) {
+  if (lo >= hi) return Status::InvalidArgument("empty range");
+  auto routed = Route(from, lo, net::MsgType::kMultiwaySearch);
+  if (!routed.ok()) return routed.status();
+  RangeResult res;
+  res.hops = routed.value().hops;
+  MultiwayNode* cur = N(routed.value().node);
+  int guard = static_cast<int>(size()) + 8;
+  while (true) {
+    BATON_CHECK_GE(--guard, 0);
+    if (cur->range.Intersects(lo, hi)) {
+      res.nodes.push_back(cur->id);
+      res.matches += cur->data.CountInRange(lo, hi);
+    }
+    if (cur->range.hi >= hi || cur->right_nb == kNullPeer) break;
+    net_->Count(cur->id, cur->right_nb, net::MsgType::kMultiwaySearch);
+    ++res.hops;
+    cur = N(cur->right_nb);
+  }
+  return res;
+}
+
+Status MultiwayNetwork::Insert(PeerId from, Key key) {
+  if (key < config_.domain_lo || key >= config_.domain_hi) {
+    return Status::InvalidArgument("key outside the domain");
+  }
+  auto routed = Route(from, key, net::MsgType::kInsert);
+  if (!routed.ok()) return routed.status();
+  N(routed.value().node)->data.Insert(key);
+  ++total_keys_;
+  return Status::OK();
+}
+
+Status MultiwayNetwork::Delete(PeerId from, Key key) {
+  auto routed = Route(from, key, net::MsgType::kDelete);
+  if (!routed.ok()) return routed.status();
+  if (!N(routed.value().node)->data.Erase(key)) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  --total_keys_;
+  return Status::OK();
+}
+
+void MultiwayNetwork::DetachLeafNode(MultiwayNode* leaf) {
+  BATON_CHECK(leaf->children.empty());
+  // Merge the leaf's range and content into a range-adjacent neighbour.
+  PeerId recv_id = leaf->right_nb != kNullPeer ? leaf->right_nb : leaf->left_nb;
+  BATON_CHECK_NE(recv_id, kNullPeer);
+  MultiwayNode* recv = N(recv_id);
+  net_->Count(leaf->id, recv_id, net::MsgType::kContentTransfer);
+  recv->data.Absorb(&leaf->data);
+  if (recv_id == leaf->right_nb) {
+    BATON_CHECK_EQ(leaf->range.hi, recv->range.lo);
+    recv->range.lo = leaf->range.lo;
+  } else {
+    BATON_CHECK_EQ(recv->range.hi, leaf->range.lo);
+    recv->range.hi = leaf->range.hi;
+  }
+
+  // Unsplice the neighbour chain.
+  if (leaf->left_nb != kNullPeer) {
+    net_->Count(leaf->id, leaf->left_nb, net::MsgType::kMultiwayLinkUpdate);
+    N(leaf->left_nb)->right_nb = leaf->right_nb;
+  }
+  if (leaf->right_nb != kNullPeer) {
+    net_->Count(leaf->id, leaf->right_nb, net::MsgType::kMultiwayLinkUpdate);
+    N(leaf->right_nb)->left_nb = leaf->left_nb;
+  }
+
+  // Remove from the parent.
+  if (leaf->parent != kNullPeer) {
+    MultiwayNode* p = N(leaf->parent);
+    net_->Count(leaf->id, p->id, net::MsgType::kMultiwayLinkUpdate);
+    p->children.erase(
+        std::find(p->children.begin(), p->children.end(), leaf->id));
+  }
+
+  // Extents along both ancestor paths shifted: propagate boundary updates
+  // upward until they stabilise (one message per level touched).
+  for (PeerId walk : {leaf->parent, recv_id}) {
+    PeerId cur = walk;
+    while (cur != kNullPeer) {
+      MultiwayNode* c = N(cur);
+      Range e = c->range;
+      for (PeerId ch : c->children) {
+        e.lo = std::min(e.lo, N(ch)->extent.lo);
+        e.hi = std::max(e.hi, N(ch)->extent.hi);
+      }
+      if (e == c->extent) break;
+      c->extent = e;
+      if (c->parent != kNullPeer) {
+        net_->Count(c->id, c->parent, net::MsgType::kMultiwayLinkUpdate);
+      }
+      cur = c->parent;
+    }
+  }
+
+  leaf->in_overlay = false;
+  leaf->left_nb = kNullPeer;
+  leaf->right_nb = kNullPeer;
+  leaf->parent = kNullPeer;
+  --live_count_;
+  net_->MarkDead(leaf->id);
+}
+
+PeerId MultiwayNetwork::FindLeafInSubtree(MultiwayNode* x, int* msgs) {
+  // "a departing node needs to get information from all of its children to
+  // select a replacement node": poll every child at each level, then recurse
+  // into one that is not a leaf-free subtree.
+  MultiwayNode* n = x;
+  int guard = static_cast<int>(size()) + 8;
+  while (true) {
+    BATON_CHECK_GE(--guard, 0);
+    if (n->children.empty()) return n->id;
+    PeerId pick = kNullPeer;
+    for (PeerId c : n->children) {
+      net_->Count(n->id, c, net::MsgType::kMultiwayChildPoll);
+      ++*msgs;
+      // Prefer a child that is itself a leaf (cheapest replacement).
+      if (N(c)->children.empty()) pick = c;
+    }
+    if (pick == kNullPeer) pick = n->children.front();
+    if (N(pick)->children.empty()) return pick;
+    n = N(pick);
+  }
+}
+
+Status MultiwayNetwork::Leave(PeerId leaver) {
+  if (leaver >= nodes_.size() || !N(leaver)->in_overlay) {
+    return Status::InvalidArgument("peer is not an overlay member");
+  }
+  MultiwayNode* x = N(leaver);
+  if (size() == 1) {
+    total_keys_ -= x->data.size();
+    x->data = KeyBag{};
+    x->in_overlay = false;
+    root_ = kNullPeer;
+    --live_count_;
+    net_->MarkDead(leaver);
+    return Status::OK();
+  }
+  if (x->children.empty()) {
+    DetachLeafNode(x);
+    return Status::OK();
+  }
+  // Internal node: recruit a leaf from the subtree as replacement.
+  int msgs = 0;
+  PeerId rid = FindLeafInSubtree(x, &msgs);
+  MultiwayNode* r = N(rid);
+  DetachLeafNode(r);
+  net_->MarkAlive(rid);  // the physical peer relocates, it did not leave
+  r->in_overlay = true;
+  ++live_count_;
+
+  // r assumes x's role: range, data, extent, children, parent, neighbours.
+  net_->Count(x->id, rid, net::MsgType::kContentTransfer);
+  r->range = x->range;
+  r->extent = x->extent;
+  r->depth = x->depth;
+  r->data = KeyBag{};
+  r->data.Absorb(&x->data);
+  r->parent = x->parent;
+  r->children = x->children;
+  r->left_nb = x->left_nb;
+  r->right_nb = x->right_nb;
+  for (PeerId c : r->children) {
+    net_->Count(rid, c, net::MsgType::kMultiwayLinkUpdate);
+    N(c)->parent = rid;
+  }
+  if (r->parent != kNullPeer) {
+    MultiwayNode* p = N(r->parent);
+    net_->Count(rid, r->parent, net::MsgType::kMultiwayLinkUpdate);
+    *std::find(p->children.begin(), p->children.end(), x->id) = rid;
+  } else {
+    root_ = rid;
+  }
+  if (r->left_nb != kNullPeer) {
+    net_->Count(rid, r->left_nb, net::MsgType::kMultiwayLinkUpdate);
+    N(r->left_nb)->right_nb = rid;
+  }
+  if (r->right_nb != kNullPeer) {
+    net_->Count(rid, r->right_nb, net::MsgType::kMultiwayLinkUpdate);
+    N(r->right_nb)->left_nb = rid;
+  }
+
+  x->in_overlay = false;
+  x->children.clear();
+  x->parent = kNullPeer;
+  x->left_nb = kNullPeer;
+  x->right_nb = kNullPeer;
+  --live_count_;
+  net_->MarkDead(leaver);
+  return Status::OK();
+}
+
+std::vector<PeerId> MultiwayNetwork::Members() const {
+  std::vector<std::pair<Key, PeerId>> order;
+  for (const auto& n : nodes_) {
+    if (n->in_overlay) order.emplace_back(n->range.lo, n->id);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<PeerId> out;
+  out.reserve(order.size());
+  for (const auto& [k, id] : order) out.push_back(id);
+  return out;
+}
+
+int MultiwayNetwork::Depth() const {
+  int d = 0;
+  for (const auto& n : nodes_) {
+    if (n->in_overlay) d = std::max(d, n->depth);
+  }
+  return d;
+}
+
+void MultiwayNetwork::CheckInvariants() const {
+  if (size() == 0) return;
+  BATON_CHECK_NE(root_, kNullPeer);
+  std::vector<PeerId> members = Members();
+  BATON_CHECK_EQ(members.size(), size());
+
+  // Neighbour chain sorted, contiguous, covering the domain.
+  const MultiwayNode* first = N(members.front());
+  const MultiwayNode* last = N(members.back());
+  BATON_CHECK_EQ(first->left_nb, kNullPeer);
+  BATON_CHECK_EQ(last->right_nb, kNullPeer);
+  BATON_CHECK_EQ(first->range.lo, config_.domain_lo);
+  BATON_CHECK_EQ(last->range.hi, config_.domain_hi);
+  for (size_t i = 0; i + 1 < members.size(); ++i) {
+    const MultiwayNode* a = N(members[i]);
+    const MultiwayNode* b = N(members[i + 1]);
+    BATON_CHECK_EQ(a->right_nb, b->id);
+    BATON_CHECK_EQ(b->left_nb, a->id);
+    BATON_CHECK_EQ(a->range.hi, b->range.lo);
+  }
+
+  uint64_t keys = 0;
+  for (PeerId id : members) {
+    const MultiwayNode* n = N(id);
+    BATON_CHECK(n->range.lo < n->range.hi);
+    if (!n->data.empty()) {
+      BATON_CHECK(n->range.Contains(n->data.Min()));
+      BATON_CHECK(n->range.Contains(n->data.Max()));
+    }
+    keys += n->data.size();
+    BATON_CHECK_LE(static_cast<int>(n->children.size()), config_.max_fanout);
+    // Extent: own range plus children extents, which partition it exactly.
+    Key width = n->range.Width();
+    Key lo = n->range.lo;
+    Key hi = n->range.hi;
+    for (PeerId c : n->children) {
+      const MultiwayNode* ch = N(c);
+      BATON_CHECK(ch->in_overlay);
+      BATON_CHECK_EQ(ch->parent, id);
+      BATON_CHECK_EQ(ch->depth, n->depth + 1);
+      width += ch->extent.Width();
+      lo = std::min(lo, ch->extent.lo);
+      hi = std::max(hi, ch->extent.hi);
+    }
+    BATON_CHECK_EQ(n->extent.lo, lo) << "extent drift at node " << id;
+    BATON_CHECK_EQ(n->extent.hi, hi) << "extent drift at node " << id;
+    BATON_CHECK_EQ(width, n->extent.Width())
+        << "extent of node " << id << " is not partitioned by its subtree";
+    if (n->parent == kNullPeer) {
+      BATON_CHECK_EQ(id, root_);
+      BATON_CHECK_EQ(n->depth, 0);
+    }
+  }
+  BATON_CHECK_EQ(keys, total_keys_);
+}
+
+}  // namespace multiway
+}  // namespace baton

@@ -1,0 +1,102 @@
+#include "net/message.h"
+
+namespace baton {
+namespace net {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kJoinForward: return "JoinForward";
+    case MsgType::kReplacementForward: return "ReplacementForward";
+    case MsgType::kContentTransfer: return "ContentTransfer";
+    case MsgType::kAdjacentUpdate: return "AdjacentUpdate";
+    case MsgType::kTableBuild: return "TableBuild";
+    case MsgType::kTableBuildChild: return "TableBuildChild";
+    case MsgType::kTableBuildReply: return "TableBuildReply";
+    case MsgType::kTableUpdate: return "TableUpdate";
+    case MsgType::kChildStatusNotify: return "ChildStatusNotify";
+    case MsgType::kParentNotify: return "ParentNotify";
+    case MsgType::kReplacementNotify: return "ReplacementNotify";
+    case MsgType::kRangeUpdate: return "RangeUpdate";
+    case MsgType::kFailureReport: return "FailureReport";
+    case MsgType::kRecoveryProbe: return "RecoveryProbe";
+    case MsgType::kRecoveryReply: return "RecoveryReply";
+    case MsgType::kDeadProbe: return "DeadProbe";
+    case MsgType::kExactQuery: return "ExactQuery";
+    case MsgType::kRangeQuery: return "RangeQuery";
+    case MsgType::kRangeScan: return "RangeScan";
+    case MsgType::kInsert: return "Insert";
+    case MsgType::kDelete: return "Delete";
+    case MsgType::kAnswer: return "Answer";
+    case MsgType::kLoadProbe: return "LoadProbe";
+    case MsgType::kLoadProbeReply: return "LoadProbeReply";
+    case MsgType::kLoadMove: return "LoadMove";
+    case MsgType::kRestructureShift: return "RestructureShift";
+    case MsgType::kChordLookup: return "ChordLookup";
+    case MsgType::kChordJoinInit: return "ChordJoinInit";
+    case MsgType::kChordUpdateOthers: return "ChordUpdateOthers";
+    case MsgType::kChordNotify: return "ChordNotify";
+    case MsgType::kChordKeyMove: return "ChordKeyMove";
+    case MsgType::kMultiwayJoinForward: return "MultiwayJoinForward";
+    case MsgType::kMultiwayChildPoll: return "MultiwayChildPoll";
+    case MsgType::kMultiwayLinkUpdate: return "MultiwayLinkUpdate";
+    case MsgType::kMultiwaySearch: return "MultiwaySearch";
+    case MsgType::kMultiwayProbe: return "MultiwayProbe";
+    case MsgType::kNumTypes: break;
+  }
+  return "Unknown";
+}
+
+MsgCategory CategoryOf(MsgType t) {
+  switch (t) {
+    case MsgType::kJoinForward:
+      return MsgCategory::kJoinSearch;
+    case MsgType::kReplacementForward:
+      return MsgCategory::kLeaveSearch;
+    case MsgType::kContentTransfer:
+    case MsgType::kAdjacentUpdate:
+    case MsgType::kTableBuild:
+    case MsgType::kTableBuildChild:
+    case MsgType::kTableBuildReply:
+    case MsgType::kTableUpdate:
+    case MsgType::kChildStatusNotify:
+    case MsgType::kParentNotify:
+    case MsgType::kReplacementNotify:
+    case MsgType::kRangeUpdate:
+      return MsgCategory::kMaintenance;
+    case MsgType::kFailureReport:
+    case MsgType::kRecoveryProbe:
+    case MsgType::kRecoveryReply:
+    case MsgType::kDeadProbe:
+      return MsgCategory::kFailure;
+    case MsgType::kExactQuery:
+    case MsgType::kRangeQuery:
+    case MsgType::kRangeScan:
+    case MsgType::kAnswer:
+      return MsgCategory::kQuery;
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+      return MsgCategory::kData;
+    case MsgType::kLoadProbe:
+    case MsgType::kLoadProbeReply:
+    case MsgType::kLoadMove:
+    case MsgType::kRestructureShift:
+      return MsgCategory::kLoadBalance;
+    case MsgType::kChordLookup:
+    case MsgType::kChordJoinInit:
+    case MsgType::kChordUpdateOthers:
+    case MsgType::kChordNotify:
+    case MsgType::kChordKeyMove:
+    case MsgType::kMultiwayJoinForward:
+    case MsgType::kMultiwayChildPoll:
+    case MsgType::kMultiwayLinkUpdate:
+    case MsgType::kMultiwaySearch:
+    case MsgType::kMultiwayProbe:
+      return MsgCategory::kBaseline;
+    case MsgType::kNumTypes:
+      break;
+  }
+  return MsgCategory::kOther;
+}
+
+}  // namespace net
+}  // namespace baton

@@ -1,0 +1,90 @@
+// Message taxonomy shared by every overlay in the repo (BATON, Chord,
+// multiway tree). The paper's only performance metric is "number of passing
+// messages"; tagging each hop with a type lets benches aggregate exactly the
+// categories each figure plots.
+#ifndef BATON_NET_MESSAGE_H_
+#define BATON_NET_MESSAGE_H_
+
+#include <cstdint>
+
+namespace baton {
+namespace net {
+
+enum class MsgType : uint16_t {
+  // --- Overlay maintenance: locating where to join / who replaces a leaver.
+  kJoinForward = 0,       // JOIN request hops (Algorithm 1)
+  kReplacementForward,    // FINDREPLACEMENT hops (Algorithm 2)
+
+  // --- Overlay maintenance: updating state after a join/leave.
+  kContentTransfer,       // range/data handover (split on join, merge on leave)
+  kAdjacentUpdate,        // fixing left/right adjacent links
+  kTableBuild,            // parent -> its neighbours: "inform your children"
+  kTableBuildChild,       // neighbour -> its child
+  kTableBuildReply,       // child -> new node (also installs reverse entry)
+  kTableUpdate,           // point update of one routing-table entry
+  kChildStatusNotify,     // child-occupancy bits changed at same-level peers
+  kParentNotify,          // child -> parent or parent -> child link updates
+  kReplacementNotify,     // "address of position P is now peer Q"
+  kRangeUpdate,           // range-of-link refresh after a range change
+
+  // --- Failure handling.
+  kFailureReport,         // someone tells the parent its child is unreachable
+  kRecoveryProbe,         // parent -> its neighbours' children (regenerate)
+  kRecoveryReply,
+  kDeadProbe,             // a message sent to a dead peer (wasted, counted)
+
+  // --- Index operations.
+  kExactQuery,            // exact-match routing hop
+  kRangeQuery,            // range-query routing hop (to first intersection)
+  kRangeScan,             // adjacent-link hop collecting the rest of a range
+  kInsert,                // insert routing hop
+  kDelete,                // delete routing hop
+  kAnswer,                // answer returned to the query node
+
+  // --- Load balancing (section IV-D).
+  kLoadProbe,             // asking a neighbour for its load
+  kLoadProbeReply,
+  kLoadMove,              // bulk key movement between adjacent nodes
+  kRestructureShift,      // one node handing its position to the next
+
+  // --- Chord baseline.
+  kChordLookup,           // find_successor hop
+  kChordJoinInit,         // building the joiner's finger table
+  kChordUpdateOthers,     // fixing other nodes' fingers after join/leave
+  kChordNotify,           // predecessor/successor pointer updates
+  kChordKeyMove,
+
+  // --- Multiway-tree baseline.
+  kMultiwayJoinForward,
+  kMultiwayChildPoll,     // leaver polling its children
+  kMultiwayLinkUpdate,
+  kMultiwaySearch,
+  kMultiwayProbe,         // child probe during descent
+
+  kNumTypes,              // sentinel
+};
+
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kNumTypes);
+
+/// Human-readable tag, for diagnostics and bench output.
+const char* MsgTypeName(MsgType t);
+
+/// Coarse categories used by the figure benches.
+enum class MsgCategory : uint8_t {
+  kJoinSearch,     // Fig 8(a), join series
+  kLeaveSearch,    // Fig 8(a), leave series
+  kMaintenance,    // Fig 8(b): routing-table update traffic
+  kFailure,
+  kQuery,          // Fig 8(d,e)
+  kData,           // Fig 8(c)
+  kLoadBalance,    // Fig 8(g,h)
+  kBaseline,       // Chord / multiway internal
+  kOther,
+};
+
+MsgCategory CategoryOf(MsgType t);
+
+}  // namespace net
+}  // namespace baton
+
+#endif  // BATON_NET_MESSAGE_H_

@@ -1,0 +1,90 @@
+#include "net/network.h"
+
+#include <sstream>
+
+namespace baton {
+namespace net {
+
+PeerId Network::Register() {
+  PeerId id = static_cast<PeerId>(alive_.size());
+  alive_.push_back(true);
+  processed_.push_back({});
+  ++num_alive_;
+  return id;
+}
+
+void Network::MarkDead(PeerId p) {
+  BATON_CHECK_LT(p, alive_.size());
+  if (alive_[p]) {
+    alive_[p] = false;
+    --num_alive_;
+  }
+}
+
+void Network::MarkAlive(PeerId p) {
+  BATON_CHECK_LT(p, alive_.size());
+  if (!alive_[p]) {
+    alive_[p] = true;
+    ++num_alive_;
+  }
+}
+
+void Network::Count(PeerId from, PeerId to, MsgType type) {
+  BATON_CHECK_LT(from, alive_.size());
+  BATON_CHECK_LT(to, alive_.size());
+  ++snapshot_.total;
+  ++snapshot_.by_type[static_cast<size_t>(type)];
+  // A message is "processed by" its receiver; dead receivers process nothing
+  // (the sender's timeout is what costs, and it was already counted above).
+  if (alive_[to]) {
+    ++processed_[to][static_cast<size_t>(CategoryOf(type))];
+  }
+}
+
+uint64_t Network::ProcessedBy(PeerId p, MsgCategory c) const {
+  BATON_CHECK_LT(p, processed_.size());
+  return processed_[p][static_cast<size_t>(c)];
+}
+
+void Network::ResetCounters() {
+  snapshot_ = CounterSnapshot{};
+  ResetPerPeerCounters();
+}
+
+void Network::ResetPerPeerCounters() {
+  for (auto& row : processed_) row.fill(0);
+}
+
+std::string Network::CounterReport() const {
+  std::ostringstream out;
+  out << "total messages: " << snapshot_.total << "\n";
+  for (int i = 0; i < kNumMsgTypes; ++i) {
+    uint64_t c = snapshot_.by_type[static_cast<size_t>(i)];
+    if (c == 0) continue;
+    out << "  " << MsgTypeName(static_cast<MsgType>(i)) << ": " << c << "\n";
+  }
+  return out.str();
+}
+
+void Network::Apply(std::function<void()> fn) {
+  if (defer_updates_) {
+    deferred_.push_back(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+size_t Network::FlushDeferred() {
+  size_t n = 0;
+  // Updates queued while flushing run too (they model follow-on repairs).
+  while (!deferred_.empty()) {
+    auto fn = std::move(deferred_.front());
+    deferred_.pop_front();
+    fn();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace net
+}  // namespace baton

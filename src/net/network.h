@@ -1,0 +1,115 @@
+// The simulated physical network: a peer registry plus message accounting.
+//
+// Protocol implementations (BATON, Chord, multiway tree) must route every
+// inter-peer interaction through Network::Count(from, to, type); this is the
+// instrument behind every figure in the paper ("We use number of passing
+// messages to measure the performance of the system").
+//
+// The network also provides:
+//  * liveness tracking (peers can fail; sending to a dead peer is a wasted
+//    message that the caller must detect and recover from),
+//  * a deferred-update facility modelling update-propagation delay for the
+//    network-dynamics experiment (Fig. 8(i)).
+#ifndef BATON_NET_NETWORK_H_
+#define BATON_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "util/check.h"
+
+namespace baton {
+namespace net {
+
+using PeerId = uint32_t;
+inline constexpr PeerId kNullPeer = static_cast<PeerId>(-1);
+
+/// Cheap value snapshot of the counters; diff two snapshots to get the cost
+/// of one operation.
+struct CounterSnapshot {
+  uint64_t total = 0;
+  std::array<uint64_t, kNumMsgTypes> by_type{};
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // ---- Peer registry -------------------------------------------------------
+  /// Registers a new peer and returns its id. Ids are never reused.
+  PeerId Register();
+  void MarkDead(PeerId p);
+  void MarkAlive(PeerId p);
+  bool IsAlive(PeerId p) const {
+    BATON_CHECK_LT(p, alive_.size());
+    return alive_[p];
+  }
+  size_t num_registered() const { return alive_.size(); }
+  size_t num_alive() const { return num_alive_; }
+
+  // ---- Message accounting --------------------------------------------------
+  /// Records one message from -> to. `to` may be dead (the message is still
+  /// paid for; callers use IsAlive to model timeout detection).
+  void Count(PeerId from, PeerId to, MsgType type);
+
+  uint64_t total_messages() const { return snapshot_.total; }
+  uint64_t MessagesOfType(MsgType t) const {
+    return snapshot_.by_type[static_cast<size_t>(t)];
+  }
+  /// Messages *processed by* (i.e. delivered to) a peer, for the access-load
+  /// experiment (Fig. 8(f)). Indexed by category.
+  uint64_t ProcessedBy(PeerId p, MsgCategory c) const;
+
+  CounterSnapshot Snapshot() const { return snapshot_; }
+  static uint64_t Delta(const CounterSnapshot& before,
+                        const CounterSnapshot& after) {
+    return after.total - before.total;
+  }
+  static uint64_t DeltaOfType(const CounterSnapshot& before,
+                              const CounterSnapshot& after, MsgType t) {
+    size_t i = static_cast<size_t>(t);
+    return after.by_type[i] - before.by_type[i];
+  }
+
+  void ResetCounters();
+  /// Reset only the per-peer processed counts (keeps global totals).
+  void ResetPerPeerCounters();
+
+  std::string CounterReport() const;
+
+  // ---- Deferred updates (network dynamics, Fig. 8(i)) ----------------------
+  /// While deferring, Apply() queues the closure instead of running it.
+  /// This models "it takes some time for the network to update knowledge of
+  /// joining or leaving nodes".
+  void SetDeferUpdates(bool defer) { defer_updates_ = defer; }
+  bool defer_updates() const { return defer_updates_; }
+  /// Run `fn` now, or queue it if updates are deferred.
+  void Apply(std::function<void()> fn);
+  /// Deliver all queued updates (in order); returns how many ran.
+  size_t FlushDeferred();
+  size_t deferred_pending() const { return deferred_.size(); }
+
+ private:
+  std::vector<bool> alive_;
+  size_t num_alive_ = 0;
+
+  CounterSnapshot snapshot_;
+  // per-peer processed messages, by coarse category.
+  static constexpr int kNumCategories = 9;
+  std::vector<std::array<uint64_t, kNumCategories>> processed_;
+
+  bool defer_updates_ = false;
+  std::deque<std::function<void()>> deferred_;
+};
+
+}  // namespace net
+}  // namespace baton
+
+#endif  // BATON_NET_NETWORK_H_

@@ -1,0 +1,44 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace baton {
+namespace sim {
+
+void EventQueue::ScheduleAt(Time at, std::function<void()> fn) {
+  BATON_CHECK_GE(at, now_) << "cannot schedule into the past";
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(Time delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-prone,
+  // so copy the function object (events are small).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+uint64_t EventQueue::RunUntilIdle(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+uint64_t EventQueue::RunUntil(Time t_end) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= t_end && Step()) ++n;
+  return n;
+}
+
+}  // namespace sim
+}  // namespace baton

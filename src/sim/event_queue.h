@@ -1,0 +1,58 @@
+// Discrete-event simulation kernel: a virtual clock plus a priority queue of
+// scheduled callbacks. Deterministic: ties in time are broken by insertion
+// sequence number.
+#ifndef BATON_SIM_EVENT_QUEUE_H_
+#define BATON_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace baton {
+namespace sim {
+
+using Time = uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute virtual time `at` (>= now).
+  void ScheduleAt(Time at, std::function<void()> fn);
+  /// Schedule `fn` to run `delay` ticks from now.
+  void ScheduleAfter(Time delay, std::function<void()> fn);
+
+  /// Run the next event; returns false if the queue is empty.
+  bool Step();
+  /// Run events until the queue is empty or `max_events` were processed.
+  /// Returns the number of events processed.
+  uint64_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
+  /// Run all events with time <= t_end.
+  uint64_t RunUntil(Time t_end);
+
+  Time now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+  uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace sim
+}  // namespace baton
+
+#endif  // BATON_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,46 @@
+// Link latency models for the discrete-event kernel.
+#ifndef BATON_SIM_LATENCY_H_
+#define BATON_SIM_LATENCY_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace baton {
+namespace sim {
+
+/// Latency model interface: ticks a message spends in flight.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual Time Sample(Rng* rng) = 0;
+};
+
+/// Every message takes exactly `ticks`.
+class ConstantLatency : public LatencyModel {
+ public:
+  explicit ConstantLatency(Time ticks) : ticks_(ticks) {}
+  Time Sample(Rng*) override { return ticks_; }
+
+ private:
+  Time ticks_;
+};
+
+/// Uniform in [lo, hi] — models jitter between peers.
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(Time lo, Time hi) : lo_(lo), hi_(hi) {}
+  Time Sample(Rng* rng) override {
+    return lo_ + rng->NextBelow(hi_ - lo_ + 1);
+  }
+
+ private:
+  Time lo_;
+  Time hi_;
+};
+
+}  // namespace sim
+}  // namespace baton
+
+#endif  // BATON_SIM_LATENCY_H_

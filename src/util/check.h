@@ -1,0 +1,62 @@
+// Lightweight CHECK macros in the spirit of glog/absl, used throughout the
+// library instead of exceptions (databases idiom: fail fast on broken
+// invariants, return Status for expected errors).
+#ifndef BATON_UTIL_CHECK_H_
+#define BATON_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace baton {
+namespace internal {
+
+// Collects a streamed message and aborts the process on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace baton
+
+#define BATON_CHECK(cond)                                              \
+  if (!(cond))                                                         \
+  ::baton::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#define BATON_CHECK_OP(op, a, b) BATON_CHECK((a)op(b))            \
+    << "(" << (a) << " vs " << (b) << ") "
+
+#define BATON_CHECK_EQ(a, b) BATON_CHECK_OP(==, a, b)
+#define BATON_CHECK_NE(a, b) BATON_CHECK_OP(!=, a, b)
+#define BATON_CHECK_LT(a, b) BATON_CHECK_OP(<, a, b)
+#define BATON_CHECK_LE(a, b) BATON_CHECK_OP(<=, a, b)
+#define BATON_CHECK_GT(a, b) BATON_CHECK_OP(>, a, b)
+#define BATON_CHECK_GE(a, b) BATON_CHECK_OP(>=, a, b)
+
+#ifndef NDEBUG
+#define BATON_DCHECK(cond) BATON_CHECK(cond)
+#else
+// Swallow the stream in release builds without evaluating operands.
+#define BATON_DCHECK(cond) \
+  if (true)                \
+    ;                      \
+  else                     \
+    ::baton::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+#endif
+
+#endif  // BATON_UTIL_CHECK_H_

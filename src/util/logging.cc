@@ -1,0 +1,12 @@
+#include "util/logging.h"
+
+namespace baton {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+}  // namespace baton

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Off by default so benches stay quiet; tests and
+// examples can raise the level.
+#ifndef BATON_UTIL_LOGGING_H_
+#define BATON_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace baton {
+
+enum class LogLevel : int { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << LevelTag(level) << " " << file << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (static_cast<int>(level_) <= static_cast<int>(GetLogLevel())) {
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+  static const char* LevelTag(LogLevel level) {
+    switch (level) {
+      case LogLevel::kError: return "E";
+      case LogLevel::kWarning: return "W";
+      case LogLevel::kInfo: return "I";
+      case LogLevel::kDebug: return "D";
+    }
+    return "?";
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace baton
+
+#define BATON_LOG(level)                                                   \
+  ::baton::internal::LogMessage(::baton::LogLevel::k##level, __FILE__, \
+                                __LINE__)                                  \
+      .stream()
+
+#endif  // BATON_UTIL_LOGGING_H_

@@ -1,0 +1,108 @@
+// Status / Result<T>: exception-free error propagation for the public API.
+#ifndef BATON_UTIL_STATUS_H_
+#define BATON_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace baton {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnavailable,   // e.g. routing could not complete because of failures
+  kExhausted,     // e.g. hop budget exceeded
+  kInternal,
+};
+
+/// Plain status object carrying a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Exhausted(std::string m) {
+    return Status(StatusCode::kExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kExhausted: return "EXHAUSTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: a value or an error status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}               // NOLINT
+  Result(Status status) : status_(std::move(status)) {        // NOLINT
+    BATON_CHECK(!status_.ok()) << "OK status requires a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    BATON_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() {
+    BATON_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace baton
+
+#endif  // BATON_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Aligned text tables + CSV output for the benchmark harness, so every bench
+// binary prints the same rows/series the paper's figures plot.
+#ifndef BATON_UTIL_TABLE_PRINTER_H_
+#define BATON_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace baton {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  /// Render as an aligned text table.
+  std::string ToText() const;
+  /// Render as CSV (headers + rows).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace baton
+
+#endif  // BATON_UTIL_TABLE_PRINTER_H_

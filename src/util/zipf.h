@@ -1,0 +1,42 @@
+// Zipf-distributed sampling over a rank space [1, n].
+//
+// Implements rejection-inversion sampling (W. Hoermann & G. Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions", ACM TOMACS 1996), the same algorithm used by Apache
+// Commons / YCSB-style workload generators. O(1) per sample for any n,
+// which matters because the paper draws from a domain of 10^9 values.
+#ifndef BATON_UTIL_ZIPF_H_
+#define BATON_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace baton {
+
+/// Samples ranks in [1, n] with P(rank = k) proportional to 1 / k^theta.
+/// theta = 1.0 reproduces the paper's "Zipfian method with parameter 1.0".
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draw one rank in [1, n]; rank 1 is the most popular.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace baton
+
+#endif  // BATON_UTIL_ZIPF_H_

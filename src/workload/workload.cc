@@ -1,0 +1,46 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace baton {
+namespace workload {
+
+ZipfKeys::ZipfKeys(Key lo, Key hi, double theta, uint64_t ranks)
+    : lo_(lo), hi_(hi), ranks_(ranks), zipf_(ranks, theta) {
+  BATON_CHECK_LT(lo, hi);
+  BATON_CHECK_GE(static_cast<uint64_t>(hi - lo), ranks);
+}
+
+Key ZipfKeys::Next(Rng* rng) {
+  uint64_t rank = zipf_.Sample(rng) - 1;  // 0-based bucket
+  Key bucket_width = (hi_ - lo_) / static_cast<Key>(ranks_);
+  Key base = lo_ + static_cast<Key>(rank) * bucket_width;
+  return base + rng->UniformInt(0, bucket_width - 1);
+}
+
+std::vector<Op> MakeMixedTrace(Rng* rng, KeyGenerator* gen, size_t inserts,
+                               size_t deletes, size_t exacts, size_t ranges,
+                               Key range_width) {
+  std::vector<Op> trace;
+  trace.reserve(inserts + deletes + exacts + ranges);
+  for (size_t i = 0; i < inserts; ++i) {
+    trace.push_back(Op{OpType::kInsert, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < deletes; ++i) {
+    trace.push_back(Op{OpType::kDelete, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < exacts; ++i) {
+    trace.push_back(Op{OpType::kExact, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < ranges; ++i) {
+    Key lo = gen->Next(rng);
+    trace.push_back(Op{OpType::kRange, lo, lo + range_width});
+  }
+  rng->Shuffle(&trace);
+  return trace;
+}
+
+}  // namespace workload
+}  // namespace baton

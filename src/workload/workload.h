@@ -1,0 +1,68 @@
+// Workload generation matching the paper's experimental setup (section V):
+// values in [1, 10^9), uniform or Zipfian (theta = 1.0) distributions,
+// inserted in batches; exact and range query generators; churn traces.
+#ifndef BATON_WORKLOAD_WORKLOAD_H_
+#define BATON_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baton/types.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace baton {
+namespace workload {
+
+/// Key generator interface.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual Key Next(Rng* rng) = 0;
+};
+
+/// Uniform keys over [lo, hi).
+class UniformKeys : public KeyGenerator {
+ public:
+  UniformKeys(Key lo, Key hi) : lo_(lo), hi_(hi) {}
+  Key Next(Rng* rng) override { return rng->UniformInt(lo_, hi_ - 1); }
+
+ private:
+  Key lo_;
+  Key hi_;
+};
+
+/// Zipf-skewed keys: rank r (Zipf-distributed over `ranks` buckets) maps to
+/// the r-th bucket of the domain, uniformly within the bucket. Low ranks --
+/// the popular mass -- cluster at the bottom of the key space, reproducing
+/// the value-skew that stresses a range-partitioned index.
+class ZipfKeys : public KeyGenerator {
+ public:
+  ZipfKeys(Key lo, Key hi, double theta, uint64_t ranks = 1 << 20);
+  Key Next(Rng* rng) override;
+
+ private:
+  Key lo_;
+  Key hi_;
+  uint64_t ranks_;
+  ZipfGenerator zipf_;
+};
+
+/// A recorded operation stream.
+enum class OpType : uint8_t { kInsert, kDelete, kExact, kRange, kJoin, kLeave };
+struct Op {
+  OpType type;
+  Key key = 0;
+  Key key_hi = 0;  // for range queries
+};
+
+/// Builds a mixed operation trace with the given counts, shuffled.
+std::vector<Op> MakeMixedTrace(Rng* rng, KeyGenerator* gen, size_t inserts,
+                               size_t deletes, size_t exacts, size_t ranges,
+                               Key range_width);
+
+}  // namespace workload
+}  // namespace baton
+
+#endif  // BATON_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,177 @@
+// Property-based testing: long random operation sequences (joins, leaves,
+// failures+recovery, inserts, deletes, queries, with and without load
+// balancing) against a reference model, validating the full invariant suite
+// along the way. Parameterized over seeds (TEST_P) for coverage.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baton/baton.h"
+
+namespace baton {
+namespace {
+
+// Reference model: a sorted multiset of keys. The overlay must agree with it
+// except for keys lost to injected failures (tracked conservatively).
+class ModelCheckedOverlay {
+ public:
+  explicit ModelCheckedOverlay(uint64_t seed, BatonConfig cfg)
+      : overlay_(cfg, &net_, seed), rng_(Mix64(seed ^ 0x9999)) {
+    members_.push_back(overlay_.Bootstrap());
+  }
+
+  void RandomOp() {
+    int pick = static_cast<int>(rng_.NextBelow(100));
+    if (pick < 18) {
+      DoJoin();
+    } else if (pick < 30 && overlay_.size() > 4) {
+      DoLeave();
+    } else if (pick < 36 && overlay_.size() > 8) {
+      DoFailAndRecover();
+    } else if (pick < 66) {
+      DoInsert();
+    } else if (pick < 76) {
+      DoDelete();
+    } else if (pick < 92) {
+      DoExact();
+    } else {
+      DoRange();
+    }
+  }
+
+  void Check() {
+    overlay_.CheckInvariants();
+    EXPECT_EQ(overlay_.total_keys(), model_.size());
+  }
+
+  size_t ops_done() const { return ops_; }
+
+ private:
+  PeerId RandomMember() { return members_[rng_.NextBelow(members_.size())]; }
+
+  void DoJoin() {
+    auto joined = overlay_.Join(RandomMember());
+    ASSERT_TRUE(joined.ok());
+    members_.push_back(joined.value());
+    ++ops_;
+  }
+
+  void DoLeave() {
+    size_t idx = rng_.NextBelow(members_.size());
+    ASSERT_TRUE(overlay_.Leave(members_[idx]).ok());
+    members_.erase(members_.begin() + static_cast<long>(idx));
+    ++ops_;
+  }
+
+  void DoFailAndRecover() {
+    size_t idx = rng_.NextBelow(members_.size());
+    PeerId victim = members_[idx];
+    // The victim's keys are lost: drop them from the model too.
+    Range r = overlay_.node(victim).range;
+    auto lo = model_.lower_bound(r.lo);
+    auto hi = model_.lower_bound(r.hi);
+    model_.erase(lo, hi);
+    overlay_.Fail(victim);
+    ASSERT_TRUE(overlay_.RecoverFailure(victim).ok());
+    members_.erase(members_.begin() + static_cast<long>(idx));
+    ++ops_;
+  }
+
+  void DoInsert() {
+    Key k = rng_.UniformInt(1, 999999999);
+    ASSERT_TRUE(overlay_.Insert(RandomMember(), k).ok());
+    model_.insert(k);
+    ++ops_;
+  }
+
+  void DoDelete() {
+    if (model_.empty() || rng_.NextBool(0.3)) {
+      // Delete a key that (very likely) does not exist.
+      Key k = rng_.UniformInt(1, 999999999);
+      bool in_model = model_.count(k) > 0;
+      Status s = overlay_.Delete(RandomMember(), k);
+      EXPECT_EQ(s.ok(), in_model);
+      if (in_model) model_.erase(model_.find(k));
+    } else {
+      // Delete an existing key.
+      auto it = model_.begin();
+      std::advance(it, static_cast<long>(rng_.NextBelow(model_.size())));
+      Key k = *it;
+      ASSERT_TRUE(overlay_.Delete(RandomMember(), k).ok());
+      model_.erase(it);
+    }
+    ++ops_;
+  }
+
+  void DoExact() {
+    Key k;
+    bool expect_found;
+    if (!model_.empty() && rng_.NextBool(0.6)) {
+      auto it = model_.begin();
+      std::advance(it, static_cast<long>(rng_.NextBelow(model_.size())));
+      k = *it;
+      expect_found = true;
+    } else {
+      k = rng_.UniformInt(1, 999999999);
+      expect_found = model_.count(k) > 0;
+    }
+    auto r = overlay_.ExactSearch(RandomMember(), k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().found, expect_found) << "key " << k;
+    ++ops_;
+  }
+
+  void DoRange() {
+    Key lo = rng_.UniformInt(1, 900000000);
+    Key hi = lo + rng_.UniformInt(1, 50000000);
+    auto r = overlay_.RangeSearch(RandomMember(), lo, hi);
+    ASSERT_TRUE(r.ok());
+    uint64_t expect = static_cast<uint64_t>(
+        std::distance(model_.lower_bound(lo), model_.lower_bound(hi)));
+    EXPECT_EQ(r.value().matches, expect) << "[" << lo << "," << hi << ")";
+    ++ops_;
+  }
+
+  net::Network net_;
+  BatonNetwork overlay_;
+  Rng rng_;
+  std::vector<PeerId> members_;
+  std::multiset<Key> model_;
+  size_t ops_ = 0;
+};
+
+class PropertySoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySoak, RandomOpsMatchModel) {
+  ModelCheckedOverlay m(GetParam(), BatonConfig{});
+  for (int i = 0; i < 600; ++i) {
+    m.RandomOp();
+    if (testing::Test::HasFatalFailure()) return;
+    if (i % 50 == 49) m.Check();
+  }
+  m.Check();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySoak,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+class PropertySoakWithLb : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySoakWithLb, RandomOpsMatchModelUnderLoadBalancing) {
+  BatonConfig cfg;
+  cfg.enable_load_balance = true;
+  cfg.overload_factor = 2.0;
+  ModelCheckedOverlay m(GetParam(), cfg);
+  for (int i = 0; i < 600; ++i) {
+    m.RandomOp();
+    if (testing::Test::HasFatalFailure()) return;
+    if (i % 50 == 49) m.Check();
+  }
+  m.Check();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySoakWithLb,
+                         ::testing::Range(uint64_t{50}, uint64_t{58}));
+
+}  // namespace
+}  // namespace baton

@@ -1,0 +1,82 @@
+// End-to-end smoke tests: grow an overlay, insert keys, query, shrink.
+#include <gtest/gtest.h>
+
+#include "baton/baton.h"
+
+namespace baton {
+namespace {
+
+TEST(BatonSmoke, BootstrapSingleNode) {
+  net::Network net;
+  BatonNetwork overlay(BatonConfig{}, &net, 1);
+  PeerId root = overlay.Bootstrap();
+  EXPECT_EQ(overlay.size(), 1u);
+  EXPECT_EQ(overlay.root(), root);
+  overlay.CheckInvariants();
+}
+
+TEST(BatonSmoke, GrowTo64AndQuery) {
+  net::Network net;
+  BatonNetwork overlay(BatonConfig{}, &net, 7);
+  PeerId root = overlay.Bootstrap();
+  std::vector<PeerId> peers{root};
+  for (int i = 1; i < 64; ++i) {
+    auto joined = overlay.Join(peers[static_cast<size_t>(i) % peers.size()]);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    peers.push_back(joined.value());
+    overlay.CheckInvariants();
+  }
+  EXPECT_EQ(overlay.size(), 64u);
+
+  Rng rng(99);
+  std::vector<Key> keys;
+  for (int i = 0; i < 2000; ++i) {
+    Key k = rng.UniformInt(1, 999999999);
+    keys.push_back(k);
+    ASSERT_TRUE(overlay.Insert(peers[rng.NextBelow(peers.size())], k).ok());
+  }
+  overlay.CheckInvariants();
+  for (int i = 0; i < 200; ++i) {
+    Key k = keys[rng.NextBelow(keys.size())];
+    auto res = overlay.ExactSearch(peers[rng.NextBelow(peers.size())], k);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.value().found) << "key " << k;
+  }
+  auto rr = overlay.RangeSearch(root, 100000000, 200000000);
+  ASSERT_TRUE(rr.ok());
+  uint64_t expect = 0;
+  for (Key k : keys) {
+    if (k >= 100000000 && k < 200000000) ++expect;
+  }
+  EXPECT_EQ(rr.value().matches, expect);
+}
+
+TEST(BatonSmoke, GrowAndShrink) {
+  net::Network net;
+  BatonNetwork overlay(BatonConfig{}, &net, 3);
+  PeerId root = overlay.Bootstrap();
+  std::vector<PeerId> peers{root};
+  for (int i = 1; i < 40; ++i) {
+    auto joined = overlay.Join(peers.back());
+    ASSERT_TRUE(joined.ok());
+    peers.push_back(joined.value());
+  }
+  overlay.CheckInvariants();
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(overlay.Insert(peers[rng.NextBelow(peers.size())],
+                               rng.UniformInt(1, 999999999))
+                    .ok());
+  }
+  // Shrink back down to one node, checking invariants along the way.
+  while (overlay.size() > 1) {
+    std::vector<PeerId> members = overlay.Members();
+    PeerId victim = members[rng.NextBelow(members.size())];
+    ASSERT_TRUE(overlay.Leave(victim).ok());
+    overlay.CheckInvariants();
+  }
+  EXPECT_EQ(overlay.total_keys(), 1000u);
+}
+
+}  // namespace
+}  // namespace baton

@@ -1,0 +1,112 @@
+// Chord baseline: ring construction, finger correctness, lookups, churn.
+#include <gtest/gtest.h>
+
+#include "chord/chord_network.h"
+#include "util/rng.h"
+
+namespace baton {
+namespace chord {
+namespace {
+
+TEST(Chord, BootstrapAndSingleLookup) {
+  net::Network net;
+  ChordNetwork ring(&net, 11);
+  PeerId a = ring.Bootstrap();
+  ring.CheckInvariants();
+  ASSERT_TRUE(ring.Insert(a, 12345).ok());
+  auto res = ring.Lookup(a, 12345);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().found);
+  EXPECT_EQ(res.value().node, a);
+}
+
+TEST(Chord, GrowRingAndCheckFingers) {
+  net::Network net;
+  ChordNetwork ring(&net, 17);
+  PeerId a = ring.Bootstrap();
+  std::vector<PeerId> members{a};
+  for (int i = 1; i < 100; ++i) {
+    auto joined = ring.Join(members[static_cast<size_t>(i - 1)]);
+    ASSERT_TRUE(joined.ok());
+    members.push_back(joined.value());
+    if (i % 10 == 0) ring.CheckInvariants();
+  }
+  ring.CheckInvariants();
+  EXPECT_EQ(ring.size(), 100u);
+}
+
+TEST(Chord, LookupsFindInsertedKeys) {
+  net::Network net;
+  ChordNetwork ring(&net, 23);
+  PeerId a = ring.Bootstrap();
+  std::vector<PeerId> members{a};
+  for (int i = 1; i < 64; ++i) {
+    members.push_back(ring.Join(members.back()).value());
+  }
+  Rng rng(7);
+  std::vector<Key> keys;
+  for (int i = 0; i < 1000; ++i) {
+    Key k = rng.UniformInt(1, 999999999);
+    keys.push_back(k);
+    ASSERT_TRUE(ring.Insert(members[rng.NextBelow(members.size())], k).ok());
+  }
+  ring.CheckInvariants();
+  for (int i = 0; i < 200; ++i) {
+    Key k = keys[rng.NextBelow(keys.size())];
+    auto res = ring.Lookup(members[rng.NextBelow(members.size())], k);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.value().found) << "key " << k;
+  }
+}
+
+TEST(Chord, LookupHopsAreLogarithmic) {
+  net::Network net;
+  ChordNetwork ring(&net, 29);
+  PeerId a = ring.Bootstrap();
+  std::vector<PeerId> members{a};
+  for (int i = 1; i < 256; ++i) {
+    members.push_back(ring.Join(members.back()).value());
+  }
+  Rng rng(13);
+  double total_hops = 0;
+  const int kQueries = 500;
+  for (int i = 0; i < kQueries; ++i) {
+    auto res = ring.Lookup(members[rng.NextBelow(members.size())],
+                           rng.UniformInt(1, 999999999));
+    ASSERT_TRUE(res.ok());
+    total_hops += res.value().hops;
+  }
+  // Expected ~ (1/2) log2 N = 4; allow generous slack but catch linear scans.
+  EXPECT_LT(total_hops / kQueries, 3 * 8.0);
+  EXPECT_GT(total_hops / kQueries, 1.0);
+}
+
+TEST(Chord, ChurnKeepsInvariants) {
+  net::Network net;
+  ChordNetwork ring(&net, 31);
+  PeerId a = ring.Bootstrap();
+  std::vector<PeerId> members{a};
+  Rng rng(3);
+  for (int i = 1; i < 80; ++i) {
+    members.push_back(ring.Join(members[rng.NextBelow(members.size())]).value());
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        ring.Insert(members[rng.NextBelow(members.size())], rng.UniformInt(1, 999999999))
+            .ok());
+  }
+  for (int round = 0; round < 40; ++round) {
+    size_t idx = rng.NextBelow(members.size());
+    PeerId victim = members[idx];
+    ASSERT_TRUE(ring.Leave(victim).ok());
+    members.erase(members.begin() + static_cast<long>(idx));
+    ring.CheckInvariants();
+    members.push_back(ring.Join(members[rng.NextBelow(members.size())]).value());
+    ring.CheckInvariants();
+  }
+  EXPECT_EQ(ring.total_keys(), 500u);
+}
+
+}  // namespace
+}  // namespace chord
+}  // namespace baton

@@ -1,0 +1,141 @@
+// Unit tests for KeyBag (per-node key storage with order statistics).
+#include <gtest/gtest.h>
+
+#include "baton/key_bag.h"
+#include "util/rng.h"
+
+namespace baton {
+namespace {
+
+TEST(KeyBag, InsertContainsErase) {
+  KeyBag bag;
+  EXPECT_TRUE(bag.empty());
+  bag.Insert(5);
+  bag.Insert(3);
+  bag.Insert(5);
+  EXPECT_EQ(bag.size(), 3u);
+  EXPECT_TRUE(bag.Contains(5));
+  EXPECT_TRUE(bag.Contains(3));
+  EXPECT_FALSE(bag.Contains(4));
+  EXPECT_TRUE(bag.Erase(5));
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_TRUE(bag.Contains(5));  // one duplicate left
+  EXPECT_TRUE(bag.Erase(5));
+  EXPECT_FALSE(bag.Contains(5));
+  EXPECT_FALSE(bag.Erase(5));
+}
+
+TEST(KeyBag, MinMaxMedian) {
+  KeyBag bag;
+  for (Key k : {9, 1, 5, 7, 3}) bag.Insert(k);
+  EXPECT_EQ(bag.Min(), 1);
+  EXPECT_EQ(bag.Max(), 9);
+  EXPECT_EQ(bag.Median(), 5);  // upper median of {1,3,5,7,9}
+}
+
+TEST(KeyBag, KthSmallest) {
+  KeyBag bag;
+  for (Key k : {40, 10, 30, 20}) bag.Insert(k);
+  EXPECT_EQ(bag.Kth(0), 10);
+  EXPECT_EQ(bag.Kth(1), 20);
+  EXPECT_EQ(bag.Kth(3), 40);
+}
+
+TEST(KeyBag, CountInRange) {
+  KeyBag bag;
+  for (Key k = 0; k < 100; k += 10) bag.Insert(k);
+  EXPECT_EQ(bag.CountInRange(0, 100), 10u);
+  EXPECT_EQ(bag.CountInRange(10, 30), 2u);   // 10, 20
+  EXPECT_EQ(bag.CountInRange(15, 15), 0u);
+  EXPECT_EQ(bag.CountInRange(95, 200), 0u);
+}
+
+TEST(KeyBag, ExtractBelowSplitsExactly) {
+  KeyBag bag;
+  for (Key k = 1; k <= 10; ++k) bag.Insert(k);
+  KeyBag low = bag.ExtractBelow(6);
+  EXPECT_EQ(low.size(), 5u);
+  EXPECT_EQ(low.Max(), 5);
+  EXPECT_EQ(bag.Min(), 6);
+  EXPECT_EQ(bag.size(), 5u);
+}
+
+TEST(KeyBag, ExtractAtLeast) {
+  KeyBag bag;
+  for (Key k = 1; k <= 10; ++k) bag.Insert(k);
+  KeyBag high = bag.ExtractAtLeast(8);
+  EXPECT_EQ(high.size(), 3u);
+  EXPECT_EQ(high.Min(), 8);
+  EXPECT_EQ(bag.Max(), 7);
+}
+
+TEST(KeyBag, ExtractBelowWithDuplicatesAtPivot) {
+  KeyBag bag;
+  for (Key k : {1, 2, 2, 2, 3}) bag.Insert(k);
+  KeyBag low = bag.ExtractBelow(2);
+  EXPECT_EQ(low.size(), 1u);  // only the 1; all 2s stay
+  EXPECT_EQ(bag.Min(), 2);
+}
+
+TEST(KeyBag, ExtractLowestHighest) {
+  KeyBag bag;
+  for (Key k = 1; k <= 10; ++k) bag.Insert(k);
+  KeyBag lo = bag.ExtractLowest(3);
+  EXPECT_EQ(lo.SortedKeys(), (std::vector<Key>{1, 2, 3}));
+  KeyBag hi = bag.ExtractHighest(2);
+  EXPECT_EQ(hi.SortedKeys(), (std::vector<Key>{9, 10}));
+  EXPECT_EQ(bag.size(), 5u);
+}
+
+TEST(KeyBag, ExtractMoreThanSizeTakesAll) {
+  KeyBag bag;
+  bag.Insert(1);
+  KeyBag all = bag.ExtractLowest(100);
+  EXPECT_EQ(all.size(), 1u);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(KeyBag, AbsorbMovesEverything) {
+  KeyBag a, b;
+  a.Insert(1);
+  b.Insert(2);
+  b.Insert(3);
+  a.Absorb(&b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.SortedKeys(), (std::vector<Key>{1, 2, 3}));
+}
+
+TEST(KeyBag, LazyBufferFlushTransparency) {
+  // Exercise the flush threshold: interleave inserts and reads past the
+  // buffer size; results must match a reference multiset.
+  KeyBag bag;
+  Rng rng(3);
+  std::multiset<Key> ref;
+  for (int i = 0; i < 1000; ++i) {
+    Key k = rng.UniformInt(0, 99);
+    if (rng.NextBool(0.7)) {
+      bag.Insert(k);
+      ref.insert(k);
+    } else {
+      bool erased = bag.Erase(k);
+      auto it = ref.find(k);
+      EXPECT_EQ(erased, it != ref.end());
+      if (it != ref.end()) ref.erase(it);
+    }
+    EXPECT_EQ(bag.size(), ref.size());
+  }
+  std::vector<Key> expect(ref.begin(), ref.end());
+  EXPECT_EQ(bag.SortedKeys(), expect);
+}
+
+TEST(KeyBag, NegativeKeysSupported) {
+  KeyBag bag;
+  bag.Insert(-5);
+  bag.Insert(5);
+  EXPECT_EQ(bag.Min(), -5);
+  EXPECT_EQ(bag.CountInRange(-10, 0), 1u);
+}
+
+}  // namespace
+}  // namespace baton

@@ -1,0 +1,133 @@
+// Multiway-tree baseline: structure, search correctness, churn.
+#include <gtest/gtest.h>
+
+#include "multiway/multiway_network.h"
+#include "util/rng.h"
+
+namespace baton {
+namespace multiway {
+namespace {
+
+MultiwayConfig TestConfig(int fanout = 4) {
+  MultiwayConfig cfg;
+  cfg.max_fanout = fanout;
+  return cfg;
+}
+
+TEST(Multiway, BootstrapAndGrow) {
+  net::Network net;
+  MultiwayNetwork tree(TestConfig(), &net, 5);
+  PeerId root = tree.Bootstrap();
+  std::vector<PeerId> peers{root};
+  for (int i = 1; i < 50; ++i) {
+    auto joined = tree.Join(peers[static_cast<size_t>(i) % peers.size()]);
+    ASSERT_TRUE(joined.ok());
+    peers.push_back(joined.value());
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 50u);
+}
+
+TEST(Multiway, SearchFindsKeys) {
+  net::Network net;
+  MultiwayNetwork tree(TestConfig(), &net, 5);
+  PeerId root = tree.Bootstrap();
+  std::vector<PeerId> peers{root};
+  for (int i = 1; i < 40; ++i) peers.push_back(tree.Join(peers.back()).value());
+  Rng rng(9);
+  std::vector<Key> keys;
+  for (int i = 0; i < 1000; ++i) {
+    Key k = rng.UniformInt(1, 999999999);
+    keys.push_back(k);
+    ASSERT_TRUE(tree.Insert(peers[rng.NextBelow(peers.size())], k).ok());
+  }
+  tree.CheckInvariants();
+  for (int i = 0; i < 200; ++i) {
+    Key k = keys[rng.NextBelow(keys.size())];
+    auto res = tree.ExactSearch(peers[rng.NextBelow(peers.size())], k);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.value().found) << "key " << k;
+  }
+  auto rr = tree.RangeSearch(root, 400000000, 500000000);
+  ASSERT_TRUE(rr.ok());
+  uint64_t expect = 0;
+  for (Key k : keys) {
+    if (k >= 400000000 && k < 500000000) ++expect;
+  }
+  EXPECT_EQ(rr.value().matches, expect);
+}
+
+TEST(Multiway, ChurnKeepsInvariants) {
+  net::Network net;
+  MultiwayNetwork tree(TestConfig(3), &net, 21);
+  PeerId root = tree.Bootstrap();
+  std::vector<PeerId> peers{root};
+  Rng rng(4);
+  for (int i = 1; i < 60; ++i) {
+    peers.push_back(tree.Join(peers[rng.NextBelow(peers.size())]).value());
+  }
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(tree.Insert(peers[rng.NextBelow(peers.size())],
+                            rng.UniformInt(1, 999999999))
+                    .ok());
+  }
+  for (int round = 0; round < 40; ++round) {
+    auto members = tree.Members();
+    PeerId victim = members[rng.NextBelow(members.size())];
+    ASSERT_TRUE(tree.Leave(victim).ok());
+    tree.CheckInvariants();
+    members = tree.Members();
+    peers.assign(members.begin(), members.end());
+    peers.push_back(tree.Join(peers[rng.NextBelow(peers.size())]).value());
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.total_keys(), 600u);
+}
+
+TEST(Multiway, InternalLeaveCostsMoreThanLeafLeave) {
+  // The paper's qualitative claim (section V-A): a departing internal node
+  // "needs to get information from all of its children to select a
+  // replacement node", so its departure costs far more than a leaf's.
+  net::Network net;
+  MultiwayNetwork tree(TestConfig(8), &net, 33);
+  PeerId root = tree.Bootstrap();
+  std::vector<PeerId> peers{root};
+  Rng rng(8);
+  for (int i = 1; i < 200; ++i) {
+    peers.push_back(tree.Join(peers[rng.NextBelow(peers.size())]).value());
+  }
+  uint64_t internal_msgs = 0, leaf_msgs = 0;
+  int internals = 0, leafs = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto members = tree.Members();
+    PeerId internal = kNullPeer, leaf = kNullPeer;
+    for (PeerId m : members) {
+      if (tree.node(m).children.size() >= 4 && internal == kNullPeer) {
+        internal = m;
+      }
+      if (tree.node(m).children.empty() && leaf == kNullPeer) leaf = m;
+    }
+    if (internal != kNullPeer) {
+      auto before = net.Snapshot();
+      ASSERT_TRUE(tree.Leave(internal).ok());
+      internal_msgs += net::Network::Delta(before, net.Snapshot());
+      ++internals;
+    }
+    if (leaf != kNullPeer) {
+      auto before = net.Snapshot();
+      ASSERT_TRUE(tree.Leave(leaf).ok());
+      leaf_msgs += net::Network::Delta(before, net.Snapshot());
+      ++leafs;
+    }
+    if (tree.size() < 20) break;
+    tree.CheckInvariants();
+  }
+  ASSERT_GT(internals, 0);
+  ASSERT_GT(leafs, 0);
+  EXPECT_GT(internal_msgs / static_cast<uint64_t>(internals),
+            leaf_msgs / static_cast<uint64_t>(leafs));
+}
+
+}  // namespace
+}  // namespace multiway
+}  // namespace baton

@@ -1,0 +1,166 @@
+// Unit tests for tree positions and routing-table slot arithmetic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baton/node.h"
+#include "baton/position.h"
+
+namespace baton {
+namespace {
+
+TEST(Position, RootProperties) {
+  Position r = Position::Root();
+  EXPECT_TRUE(r.IsRoot());
+  EXPECT_EQ(r.level, 0u);
+  EXPECT_EQ(r.number, 1u);
+  EXPECT_EQ(r.LevelWidth(), 1u);
+}
+
+TEST(Position, ChildParentRoundTrip) {
+  Position p{5, 17};
+  EXPECT_EQ(p.LeftChild().Parent(), p);
+  EXPECT_EQ(p.RightChild().Parent(), p);
+  EXPECT_EQ(p.LeftChild().Sibling(), p.RightChild());
+  EXPECT_EQ(p.RightChild().Sibling(), p.LeftChild());
+}
+
+TEST(Position, ChildNumbers) {
+  Position p{3, 5};
+  EXPECT_EQ(p.LeftChild().level, 4u);
+  EXPECT_EQ(p.LeftChild().number, 9u);
+  EXPECT_EQ(p.RightChild().number, 10u);
+  EXPECT_TRUE(p.LeftChild().IsLeftChild());
+  EXPECT_FALSE(p.RightChild().IsLeftChild());
+}
+
+TEST(Position, InOrderKeyMatchesTraversal) {
+  // Build the full tree of depth 4 and check that sorting by InOrderKey
+  // reproduces a recursive in-order traversal.
+  std::vector<Position> in_order;
+  std::function<void(Position, int)> walk = [&](Position p, int depth) {
+    if (depth > 0) walk(p.LeftChild(), depth - 1);
+    in_order.push_back(p);
+    if (depth > 0) walk(p.RightChild(), depth - 1);
+  };
+  walk(Position::Root(), 4);
+  for (size_t i = 0; i + 1 < in_order.size(); ++i) {
+    EXPECT_LT(in_order[i].InOrderKey(), in_order[i + 1].InOrderKey())
+        << in_order[i] << " vs " << in_order[i + 1];
+    EXPECT_TRUE(InOrderBefore(in_order[i], in_order[i + 1]));
+  }
+}
+
+TEST(Position, InOrderKeyUniqueAcrossLevels) {
+  std::vector<uint64_t> keys;
+  for (uint32_t level = 0; level <= 10; ++level) {
+    for (uint64_t num = 1; num <= (uint64_t{1} << level); ++num) {
+      keys.push_back(Position{level, num}.InOrderKey());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(Position, PackedIsUniqueAndUnpackable) {
+  Position p{9, 300};
+  uint64_t packed = p.Packed();
+  EXPECT_EQ(packed >> 52, 9u);
+  EXPECT_EQ(packed & ((uint64_t{1} << 52) - 1), 300u);
+  EXPECT_NE(Position({9, 301}).Packed(), packed);
+  EXPECT_NE(Position({10, 300}).Packed(), packed);
+}
+
+TEST(Position, DeepLevelsDoNotOverflow) {
+  Position deep{40, (uint64_t{1} << 40)};
+  EXPECT_GT(deep.InOrderKey(), 0u);
+  EXPECT_EQ(deep.Parent().level, 39u);
+}
+
+// ---------- RoutingTable slot math ----------
+
+TEST(RoutingTable, NumSlotsLeftEdge) {
+  // Leftmost node of a level has no left slots.
+  EXPECT_EQ(RoutingTable::NumSlots(Position{5, 1}, true), 0);
+  // and the full set of right slots: 1+1, 1+2, 1+4, 1+8, 1+16 <= 32.
+  EXPECT_EQ(RoutingTable::NumSlots(Position{5, 1}, false), 5);
+}
+
+TEST(RoutingTable, NumSlotsRightEdge) {
+  EXPECT_EQ(RoutingTable::NumSlots(Position{5, 32}, false), 0);
+  EXPECT_EQ(RoutingTable::NumSlots(Position{5, 32}, true), 5);
+}
+
+TEST(RoutingTable, NumSlotsMiddle) {
+  // number 12 at level 5: left reaches 12-1,12-2,12-4,12-8 (>=1): 4 slots;
+  // right reaches 12+1,...,12+16 <= 32: 5 slots.
+  EXPECT_EQ(RoutingTable::NumSlots(Position{5, 12}, true), 4);
+  EXPECT_EQ(RoutingTable::NumSlots(Position{5, 12}, false), 5);
+}
+
+TEST(RoutingTable, SlotPositionsArePowersOfTwoAway) {
+  Position p{6, 30};
+  for (bool left : {true, false}) {
+    int slots = RoutingTable::NumSlots(p, left);
+    for (int i = 0; i < slots; ++i) {
+      Position q = RoutingTable::SlotPosition(p, left, i);
+      EXPECT_EQ(q.level, p.level);
+      uint64_t d = q.number > p.number ? q.number - p.number
+                                       : p.number - q.number;
+      EXPECT_EQ(d, uint64_t{1} << i);
+    }
+  }
+}
+
+TEST(RoutingTable, SlotForDistance) {
+  EXPECT_EQ(RoutingTable::SlotForDistance(1), 0);
+  EXPECT_EQ(RoutingTable::SlotForDistance(2), 1);
+  EXPECT_EQ(RoutingTable::SlotForDistance(8), 3);
+  EXPECT_EQ(RoutingTable::SlotForDistance(3), -1);
+  EXPECT_EQ(RoutingTable::SlotForDistance(0), -1);
+}
+
+TEST(RoutingTable, ResetDimensionsAndEmptiness) {
+  RoutingTable rt;
+  rt.Reset(Position{4, 7}, /*left=*/true);
+  EXPECT_EQ(rt.size(), RoutingTable::NumSlots(Position{4, 7}, true));
+  // Empty slots still count as a table that is NOT full (positions exist).
+  EXPECT_FALSE(rt.IsFull());
+  for (int i = 0; i < rt.size(); ++i) {
+    rt.entry(i).peer = 1;
+  }
+  EXPECT_TRUE(rt.IsFull());
+}
+
+TEST(RoutingTable, ZeroSlotTableIsVacuouslyFull) {
+  RoutingTable rt;
+  rt.Reset(Position::Root(), true);
+  EXPECT_EQ(rt.size(), 0);
+  EXPECT_TRUE(rt.IsFull());
+}
+
+// ---------- Range ----------
+
+TEST(Range, ContainsAndIntersects) {
+  Range r{10, 20};
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_TRUE(r.Intersects(19, 25));
+  EXPECT_FALSE(r.Intersects(20, 25));
+  EXPECT_TRUE(r.Intersects(0, 11));
+  EXPECT_FALSE(r.Intersects(0, 10));
+}
+
+TEST(Range, WidthAndMid) {
+  Range r{10, 20};
+  EXPECT_EQ(r.Width(), 10);
+  EXPECT_EQ(r.Mid(), 15);
+  EXPECT_FALSE(r.Empty());
+  EXPECT_TRUE((Range{5, 5}).Empty());
+}
+
+}  // namespace
+}  // namespace baton

@@ -1,0 +1,189 @@
+// Unit tests for the discrete-event kernel and the message-counting network.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/latency.h"
+
+namespace baton {
+namespace {
+
+// ---------- EventQueue ----------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(7, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  sim::EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  sim::EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(5, [&] { ++fired; });
+  q.ScheduleAt(15, [&] { ++fired; });
+  q.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, MaxEventsBudget) {
+  sim::EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.ScheduleAt(static_cast<sim::Time>(i), [&] { ++fired; });
+  EXPECT_EQ(q.RunUntilIdle(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Latency, ConstantAndUniform) {
+  Rng rng(1);
+  sim::ConstantLatency c(5);
+  EXPECT_EQ(c.Sample(&rng), 5u);
+  sim::UniformLatency u(2, 4);
+  for (int i = 0; i < 100; ++i) {
+    sim::Time t = u.Sample(&rng);
+    EXPECT_GE(t, 2u);
+    EXPECT_LE(t, 4u);
+  }
+}
+
+// ---------- Network ----------
+
+TEST(Network, RegisterAndLiveness) {
+  net::Network net;
+  net::PeerId a = net.Register();
+  net::PeerId b = net.Register();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(net.IsAlive(a));
+  net.MarkDead(a);
+  EXPECT_FALSE(net.IsAlive(a));
+  EXPECT_EQ(net.num_alive(), 1u);
+  net.MarkAlive(a);
+  EXPECT_EQ(net.num_alive(), 2u);
+}
+
+TEST(Network, CountsByType) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  net.Count(a, b, net::MsgType::kExactQuery);
+  net.Count(a, b, net::MsgType::kExactQuery);
+  net.Count(b, a, net::MsgType::kInsert);
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(net.MessagesOfType(net::MsgType::kExactQuery), 2u);
+  EXPECT_EQ(net.MessagesOfType(net::MsgType::kInsert), 1u);
+}
+
+TEST(Network, SnapshotDeltas) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  auto s0 = net.Snapshot();
+  net.Count(a, b, net::MsgType::kInsert);
+  net.Count(a, b, net::MsgType::kDelete);
+  auto s1 = net.Snapshot();
+  EXPECT_EQ(net::Network::Delta(s0, s1), 2u);
+  EXPECT_EQ(net::Network::DeltaOfType(s0, s1, net::MsgType::kInsert), 1u);
+}
+
+TEST(Network, PerPeerProcessedCounts) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  net.Count(a, b, net::MsgType::kExactQuery);
+  net.Count(a, b, net::MsgType::kInsert);
+  EXPECT_EQ(net.ProcessedBy(b, net::MsgCategory::kQuery), 1u);
+  EXPECT_EQ(net.ProcessedBy(b, net::MsgCategory::kData), 1u);
+  EXPECT_EQ(net.ProcessedBy(a, net::MsgCategory::kQuery), 0u);
+  net.ResetPerPeerCounters();
+  EXPECT_EQ(net.ProcessedBy(b, net::MsgCategory::kQuery), 0u);
+  EXPECT_EQ(net.total_messages(), 2u);  // global totals survive
+}
+
+TEST(Network, DeadReceiverProcessesNothing) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  net.MarkDead(b);
+  net.Count(a, b, net::MsgType::kExactQuery);
+  EXPECT_EQ(net.total_messages(), 1u);  // the wasted message is still paid
+  EXPECT_EQ(net.ProcessedBy(b, net::MsgCategory::kQuery), 0u);
+}
+
+TEST(Network, DeferQueuesAndFlushes) {
+  net::Network net;
+  int applied = 0;
+  net.Apply([&] { ++applied; });
+  EXPECT_EQ(applied, 1);  // immediate when not deferring
+
+  net.SetDeferUpdates(true);
+  net.Apply([&] { ++applied; });
+  net.Apply([&] { ++applied; });
+  EXPECT_EQ(applied, 1);
+  EXPECT_EQ(net.deferred_pending(), 2u);
+  EXPECT_EQ(net.FlushDeferred(), 2u);
+  EXPECT_EQ(applied, 3);
+}
+
+TEST(Network, FlushRunsInFifoOrder) {
+  net::Network net;
+  net.SetDeferUpdates(true);
+  std::vector<int> order;
+  net.Apply([&] { order.push_back(1); });
+  net.Apply([&] { order.push_back(2); });
+  net.FlushDeferred();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, FlushRunsFollowOnUpdates) {
+  net::Network net;
+  net.SetDeferUpdates(true);
+  int applied = 0;
+  net.Apply([&] {
+    ++applied;
+    net.Apply([&] { ++applied; });  // queued during flush
+  });
+  EXPECT_EQ(net.FlushDeferred(), 2u);
+  EXPECT_EQ(applied, 2);
+}
+
+TEST(Network, CounterReportListsTypes) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  net.Count(a, b, net::MsgType::kJoinForward);
+  std::string report = net.CounterReport();
+  EXPECT_NE(report.find("JoinForward"), std::string::npos);
+}
+
+TEST(MsgType, EveryTypeHasNameAndCategory) {
+  for (int i = 0; i < net::kNumMsgTypes; ++i) {
+    auto t = static_cast<net::MsgType>(i);
+    EXPECT_STRNE(net::MsgTypeName(t), "Unknown") << i;
+    (void)net::CategoryOf(t);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace baton

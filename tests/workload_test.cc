@@ -1,0 +1,99 @@
+// Workload generators: key distributions and trace construction.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.h"
+
+namespace baton {
+namespace workload {
+namespace {
+
+TEST(UniformKeysTest, StaysInDomain) {
+  Rng rng(1);
+  UniformKeys gen(100, 200);
+  for (int i = 0; i < 1000; ++i) {
+    Key k = gen.Next(&rng);
+    EXPECT_GE(k, 100);
+    EXPECT_LT(k, 200);
+  }
+}
+
+TEST(UniformKeysTest, RoughlyUniformAcrossHalves) {
+  Rng rng(2);
+  UniformKeys gen(0, 1000000);
+  int low = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.Next(&rng) < 500000) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kN, 0.5, 0.03);
+}
+
+TEST(ZipfKeysTest, StaysInDomain) {
+  Rng rng(3);
+  ZipfKeys gen(1, 1000000000, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    Key k = gen.Next(&rng);
+    EXPECT_GE(k, 1);
+    EXPECT_LT(k, 1000000000);
+  }
+}
+
+TEST(ZipfKeysTest, MassConcentratesAtLowKeys) {
+  Rng rng(4);
+  ZipfKeys gen(1, 1000000000, 1.0);
+  int bottom = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.Next(&rng) < 10000000) ++bottom;  // lowest 1% of the domain
+  }
+  // Under Zipf(1.0) over 2^20 ranks, the lowest 1% of buckets carry far more
+  // than 1% of the mass.
+  EXPECT_GT(bottom, kN / 10);
+}
+
+TEST(ZipfKeysTest, HigherThetaMoreConcentrated) {
+  Rng rng(5);
+  ZipfKeys mild(1, 1000000000, 0.6);
+  ZipfKeys heavy(1, 1000000000, 1.2);
+  int mild_bottom = 0, heavy_bottom = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (mild.Next(&rng) < 10000000) ++mild_bottom;
+    if (heavy.Next(&rng) < 10000000) ++heavy_bottom;
+  }
+  EXPECT_GT(heavy_bottom, mild_bottom);
+}
+
+TEST(MixedTrace, CountsAndShuffle) {
+  Rng rng(6);
+  UniformKeys gen(1, 1000);
+  auto trace = MakeMixedTrace(&rng, &gen, 10, 5, 7, 3, 50);
+  EXPECT_EQ(trace.size(), 25u);
+  std::map<OpType, int> counts;
+  for (const Op& op : trace) ++counts[op.type];
+  EXPECT_EQ(counts[OpType::kInsert], 10);
+  EXPECT_EQ(counts[OpType::kDelete], 5);
+  EXPECT_EQ(counts[OpType::kExact], 7);
+  EXPECT_EQ(counts[OpType::kRange], 3);
+  for (const Op& op : trace) {
+    if (op.type == OpType::kRange) {
+      EXPECT_EQ(op.key_hi, op.key + 50);
+    }
+  }
+}
+
+TEST(MixedTrace, DeterministicForSeed) {
+  Rng a(7), b(7);
+  UniformKeys ga(1, 1000), gb(1, 1000);
+  auto ta = MakeMixedTrace(&a, &ga, 20, 0, 0, 0, 0);
+  auto tb = MakeMixedTrace(&b, &gb, 20, 0, 0, 0, 0);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace baton

@@ -11,6 +11,8 @@ BatonNetwork::BatonNetwork(const BatonConfig& config, net::Network* net,
     : config_(config), net_(net), rng_(seed) {
   BATON_CHECK(net != nullptr);
   BATON_CHECK_LT(config.domain_lo, config.domain_hi);
+  repl_ = std::make_unique<replication::ReplicationManager>(
+      config.replication, net);
 }
 
 BatonNode* BatonNetwork::N(PeerId p) {

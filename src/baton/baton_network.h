@@ -27,6 +27,7 @@
 #include "baton/types.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "replication/replication.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -67,6 +68,12 @@ struct BatonConfig {
   /// max_hops_factor * (tree height + 1) hops. Generous because routing under
   /// churn (Fig 8(i)) may detour around stale links.
   int max_hops_factor = 16;
+
+  /// Replication policy (extension beyond the paper). factor == 0 (default)
+  /// keeps the overlay replica-free and reproduces the paper's message counts
+  /// exactly; factor == r mirrors every node's keys on r holders so failure
+  /// recovery restores them instead of dropping them.
+  replication::ReplicationConfig replication;
 };
 
 class BatonNetwork {
@@ -170,6 +177,29 @@ class BatonNetwork {
   /// Number of completed load-balancing operations.
   uint64_t load_balance_ops() const { return lb_ops_; }
 
+  // ------------------------------------------------------------------
+  // Durability (replication subsystem; see src/replication/).
+  // ------------------------------------------------------------------
+
+  /// Keys irrecoverably dropped from the index: a failed node's keys that no
+  /// live replica could restore (always the full bag when replication is
+  /// off), plus the final node's keys when the overlay shuts down.
+  uint64_t lost_keys() const { return lost_keys_; }
+  /// Keys restored from replicas during failure recovery.
+  uint64_t recovered_keys() const { return recovered_keys_; }
+
+  /// Anti-entropy pass: every live member probes its replica holders,
+  /// re-syncs stale copies and recreates replicas lost to departed holders
+  /// (charged: kReplicaProbe/kReplicaSync per repair). Run it after heavy
+  /// churn or restructuring, like RepairAllLinks for data. No-op when
+  /// replication is off.
+  replication::RepairStats RepairReplicas();
+
+  replication::ReplicationManager& replication_manager() { return *repl_; }
+  const replication::ReplicationManager& replication_manager() const {
+    return *repl_;
+  }
+
   net::Network* network() { return net_; }
   Rng* rng() { return &rng_; }
   const BatonConfig& config() const { return config_; }
@@ -256,7 +286,11 @@ class BatonNetwork {
   /// quiescent overlay.
   bool LeaveHandshakeOk(const BatonNode* x,
                         PeerId exempt_dead = kNullPeer) const;
-  void SafeLeaveAsLeaf(BatonNode* x, bool transfer_content);
+  /// `peer_stays_up` marks a transient departure (the replacement protocol:
+  /// the peer re-appears at another position immediately), in which case the
+  /// replicas x holds for other primaries remain valid and are kept.
+  void SafeLeaveAsLeaf(BatonNode* x, bool transfer_content,
+                       bool peer_stays_up = false);
   /// Detaches leaf x whose content was already handed off elsewhere (load
   /// balancing): clears links, notifies neighbours, unindexes.
   void DetachLeaf(BatonNode* x);
@@ -292,6 +326,32 @@ class BatonNetwork {
 
   // ---- failure (failure.cc) ----
   void RegenerateFailedState(BatonNode* x, BatonNode* initiator);
+  /// Replaces x's (dead) bag with the freshest live replica, accounting lost
+  /// vs recovered keys. Returns true when a replica was restored; false means
+  /// the keys are gone and the caller proceeds with the paper's lossy path.
+  bool TryRestoreContent(BatonNode* x, BatonNode* initiator);
+
+  // ---- replication glue (replicate.cc) ----
+  /// Holder candidates for x's replicas, in preference order (adjacents,
+  /// then parent/children, then routing-table neighbours, per config).
+  std::vector<PeerId> ReplicaCandidates(const BatonNode* x) const;
+  /// Bulk (re)sync after x's bag changed wholesale; also tops up holders.
+  /// `via` names the peer relaying on x's behalf when x itself is a dead
+  /// pending failure whose bag recovery just changed (a dead primary cannot
+  /// send, but its replicas must not be left diverging from its bag).
+  void ReplicateFullSync(BatonNode* x, PeerId via = kNullPeer);
+  void ReplicateInsert(BatonNode* x, Key k);
+  void ReplicateErase(BatonNode* x, Key k);
+  /// Peer `gone` no longer holds replicas (left or died): re-sync every
+  /// live primary it held onto fresh holders. `graceful` marks a voluntary
+  /// departure, in which case replicas of dead (unrecovered) primaries are
+  /// handed off to fresh holders instead of discarded -- the departing peer
+  /// may carry the only surviving copy, and the primary cannot re-sync a
+  /// replacement itself.
+  void ReplicaPeerGone(PeerId gone, bool graceful);
+  /// Discards x's replica set; charged (kReplicaDrop per holder) only when x
+  /// is still alive to announce its own departure.
+  void ReplicaDropPrimary(BatonNode* x);
 
   // ---- routing (search.cc) ----
   struct RouteOutcome {
@@ -332,6 +392,10 @@ class BatonNetwork {
   Histogram shift_sizes_;
   uint64_t lb_ops_ = 0;
   bool bootstrapped_ = false;
+
+  std::unique_ptr<replication::ReplicationManager> repl_;
+  uint64_t lost_keys_ = 0;
+  uint64_t recovered_keys_ = 0;
 };
 
 }  // namespace baton

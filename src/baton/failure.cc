@@ -1,10 +1,13 @@
 // Node failure (section III-C): a failed peer stops responding; messages to
 // it are wasted (kDeadProbe) until its parent regenerates its routing state
 // ("by contacting children of nodes in its own routing tables") and runs a
-// graceful departure on its behalf. The failed node's keys are lost -- the
-// paper's index stores no replicas -- but its range is recovered, so the
-// partitioning stays contiguous.
+// graceful departure on its behalf. In the paper's index the failed node's
+// keys are lost (it stores no replicas); with the replication subsystem
+// enabled, recovery first restores them from the freshest live replica so
+// only the range handover remains lossy-free. Either way the range is
+// recovered and the partitioning stays contiguous.
 #include <algorithm>
+#include <iterator>
 
 #include "baton/baton_network.h"
 
@@ -46,6 +49,30 @@ void BatonNetwork::RegenerateFailedState(BatonNode* x, BatonNode* initiator) {
   }
 }
 
+bool BatonNetwork::TryRestoreContent(BatonNode* x, BatonNode* initiator) {
+  if (!repl_->enabled()) return false;
+  KeyBag restored;
+  if (!repl_->Restore(x->id, initiator->id, &restored)) {
+    return false;  // no live holder: the paper's lossy path applies
+  }
+  // Exact accounting against the simulator's ground truth (x's bag was never
+  // physically sent anywhere): victim keys missing from the replica are
+  // lost; every replica key re-enters the index. A stale copy may even
+  // resurrect keys deleted after its last sync -- real anti-entropy
+  // behaviour, visible in the counters.
+  size_t at_risk = x->data.size();
+  const std::vector<Key>& actual = x->data.SortedKeys();
+  const std::vector<Key>& have = restored.SortedKeys();
+  std::vector<Key> missing;
+  std::set_difference(actual.begin(), actual.end(), have.begin(), have.end(),
+                      std::back_inserter(missing));
+  lost_keys_ += missing.size();
+  recovered_keys_ += have.size();
+  total_keys_ = total_keys_ - at_risk + have.size();
+  x->data = std::move(restored);
+  return true;
+}
+
 Status BatonNetwork::RecoverFailure(PeerId failed) {
   auto it = std::find(failed_.begin(), failed_.end(), failed);
   if (it == failed_.end()) {
@@ -76,8 +103,14 @@ Status BatonNetwork::RecoverFailure(PeerId failed) {
   Count(initiator->id, initiator->id, net::MsgType::kFailureReport);
   RegenerateFailedState(x, initiator);
 
+  // The restore runs only once recovery is committed (all retriable
+  // early-outs passed): the initiator pulls the victim's keys back from the
+  // freshest replica, and whoever inherits the range below inherits them
+  // through the normal content handover (charged from x's address -- the
+  // initiator relays on the dead node's behalf).
   if (SafeToRemove(x)) {
-    SafeLeaveAsLeaf(x, /*transfer_content=*/false);
+    bool restored = TryRestoreContent(x, initiator);
+    SafeLeaveAsLeaf(x, /*transfer_content=*/restored);
     failed_.erase(std::find(failed_.begin(), failed_.end(), failed));
     return Status::OK();
   }
@@ -89,7 +122,8 @@ Status BatonNetwork::RecoverFailure(PeerId failed) {
   if (!LeaveHandshakeOk(N(zid), /*exempt_dead=*/x->id)) {
     return Status::Unavailable("replacement's parent link in flux; retry");
   }
-  ReplaceNode(x, N(zid), /*content_lost=*/true);
+  bool restored = TryRestoreContent(x, initiator);
+  ReplaceNode(x, N(zid), /*content_lost=*/!restored);
   failed_.erase(std::find(failed_.begin(), failed_.end(), failed));
   return Status::OK();
 }

@@ -122,6 +122,12 @@ void BatonNetwork::CheckInvariants() const {
           << n.pos;
     }
     keys += n.data.size();
+
+    // Replication: every up-to-date replica of this node's bag must match it
+    // exactly (stale copies are the anti-entropy pass's responsibility).
+    if (repl_->enabled()) {
+      repl_->CheckConsistent(id, n.data);
+    }
   }
   BATON_CHECK_EQ(keys, total_keys_) << "key accounting drifted";
 

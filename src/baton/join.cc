@@ -242,6 +242,11 @@ void BatonNetwork::AcceptChild(BatonNode* x, BatonNode* y, bool as_left) {
     SendRefUpdate(far_adj.peer,
                   as_left ? RefKind::kLeftAdj : RefKind::kRightAdj, 0, self);
   }
+
+  // The split moved half of x's bag to y: x re-syncs its replicas and y
+  // recruits its own holders now that its links are in place.
+  ReplicateFullSync(x);
+  ReplicateFullSync(y);
 }
 
 void BatonNetwork::BuildChildTables(BatonNode* x, BatonNode* y) {

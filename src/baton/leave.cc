@@ -61,18 +61,27 @@ Status BatonNetwork::Leave(PeerId leaver) {
 }
 
 void BatonNetwork::RemoveLastNode(BatonNode* x) {
+  // The last member takes its keys with it: no peer remains to hold them
+  // (and no peer remains to hand held replicas to).
   total_keys_ -= x->data.size();
+  lost_keys_ += x->data.size();
   x->data = KeyBag{};
+  ReplicaDropPrimary(x);
   UnindexPosition(x);
   x->in_overlay = false;
   net_->MarkDead(x->id);
+  ReplicaPeerGone(x->id, /*graceful=*/false);
   bootstrapped_ = false;  // a fresh Bootstrap may restart the overlay
 }
 
-void BatonNetwork::SafeLeaveAsLeaf(BatonNode* x, bool transfer_content) {
+void BatonNetwork::SafeLeaveAsLeaf(BatonNode* x, bool transfer_content,
+                                   bool peer_stays_up) {
   BATON_CHECK(x->IsLeaf());
   BATON_CHECK(x->parent.valid()) << "a leaf in a size>1 overlay has a parent";
   BatonNode* p = N(x->parent.peer);
+  // Graceful departure vs abrupt-failure cleanup: only a peer that was
+  // still up when the departure began can hand off the replicas it holds.
+  bool was_alive = net_->IsAlive(x->id);
 
   // 1. Content and range move to the parent (a leaf's range is contiguous
   //    with its parent's: the leaf is the parent's in-order neighbour).
@@ -80,7 +89,9 @@ void BatonNetwork::SafeLeaveAsLeaf(BatonNode* x, bool transfer_content) {
     Count(x->id, p->id, net::MsgType::kContentTransfer);
     p->data.Absorb(&x->data);
   } else {
-    total_keys_ -= x->data.size();  // abrupt failure: keys are lost
+    // Abrupt failure with no restorable replica: the keys are lost.
+    total_keys_ -= x->data.size();
+    lost_keys_ += x->data.size();
     x->data = KeyBag{};
   }
   bool was_left = x->pos.IsLeftChild();
@@ -108,7 +119,23 @@ void BatonNetwork::SafeLeaveAsLeaf(BatonNode* x, bool transfer_content) {
   x->in_overlay = false;
   x->left_adj.Clear();
   x->right_adj.Clear();
+  ReplicaDropPrimary(x);  // charged only when x is alive to announce it
   net_->MarkDead(x->id);
+  // The parent's bag grew by the handover: its replicas must hear about it.
+  // When the parent is itself a dead pending failure (the child's recovery
+  // ran first), the handover's sender -- x's address, relayed by the
+  // recovery initiator -- syncs the parent's replicas on its behalf. Synced
+  // before releasing x's held replicas: the full sync already prunes x from
+  // p's holder set and recruits the replacement, so the release below has
+  // nothing left to re-home for p (saves a redundant bulk sync).
+  //
+  // In the transient case the caller syncs p instead, after restoring x's
+  // liveness: syncing here would prune the only-momentarily-dead x from p's
+  // holder set and orphan the copy x still physically holds.
+  if (transfer_content && !peer_stays_up) ReplicateFullSync(p, /*via=*/x->id);
+  // A transiently departing peer (replacement protocol) keeps the replicas
+  // it holds for others -- it never actually goes away.
+  if (!peer_stays_up) ReplicaPeerGone(x->id, /*graceful=*/was_alive);
 }
 
 void BatonNetwork::DetachLeaf(BatonNode* x) {
@@ -132,6 +159,10 @@ void BatonNetwork::DetachLeaf(BatonNode* x) {
   x->in_overlay = false;
   x->left_adj.Clear();
   x->right_adj.Clear();
+  // x's bag was already handed off (it is about to rejoin elsewhere with new
+  // content); its old replica set is obsolete. x stays up, so replicas *it*
+  // holds for other primaries remain valid.
+  ReplicaDropPrimary(x);
 }
 
 PeerId BatonNetwork::FindReplacementStart(BatonNode* x, int* hops) {
@@ -244,27 +275,36 @@ PeerId BatonNetwork::RunFindReplacement(BatonNode* start, int* hops) {
 
 void BatonNetwork::ReplaceNode(BatonNode* x, BatonNode* z, bool content_lost) {
   BATON_CHECK(z->IsLeaf());
+  bool x_was_alive = net_->IsAlive(x->id);  // graceful leave vs failure
   // Under deferred updates stale child bits can make an actually-unsafe leaf
   // look safe; structurally the replacement still works (transient imbalance
   // the network repairs as updates propagate).
   if (!net_->defer_updates()) {
     BATON_CHECK(SafeToRemove(z)) << "Algorithm 2 must return a safe leaf";
   }
-  // A failed node's keys are gone. Account for them *before* z's departure:
-  // if z happens to be x's child, z's own keys transfer into x's (dead)
-  // store below and must not be double-counted as lost -- z reclaims them in
-  // the handover.
+  // A failed node's keys are gone (unless the caller already restored them
+  // from a replica). Account for them *before* z's departure: if z happens
+  // to be x's child, z's own keys transfer into x's (dead) store below and
+  // must not be double-counted as lost -- z reclaims them in the handover.
   if (content_lost) {
     total_keys_ -= x->data.size();
+    lost_keys_ += x->data.size();
     x->data = KeyBag{};
   }
 
   // 1. z leaves its own position gracefully (content to its parent). This
   //    also fixes x's own links if z happened to be x's child or adjacent.
   //    The physical peer stays up -- it is about to re-appear at x's
-  //    position -- so undo the departure's liveness bookkeeping.
-  SafeLeaveAsLeaf(z, /*transfer_content=*/true);
+  //    position -- so undo the departure's liveness bookkeeping (and keep
+  //    the replicas z holds for other primaries).
+  PeerId z_parent = z->parent.peer;  // captured: the departure clears links
+  SafeLeaveAsLeaf(z, /*transfer_content=*/true, /*peer_stays_up=*/true);
   net_->MarkAlive(z->id);
+  // z's old parent absorbed z's bag; its replicas sync now that z is back
+  // up, so z keeps its holder slot instead of being pruned as dead. (When
+  // that parent is x itself -- z was x's child -- the sync is skipped: x's
+  // bag is about to transfer to z and x's replica set is dropped below.)
+  if (z_parent != x->id) ReplicateFullSync(N(z_parent));
 
   // 2. z assumes x's position, range, data and links (one bulk handover).
   if (!content_lost) {
@@ -295,7 +335,12 @@ void BatonNetwork::ReplaceNode(BatonNode* x, BatonNode* z, bool content_lost) {
   x->right_child.Clear();
   x->left_adj.Clear();
   x->right_adj.Clear();
+  ReplicaDropPrimary(x);  // charged only on a graceful departure (x alive)
   net_->MarkDead(x->id);
+  ReplicaPeerGone(x->id, /*graceful=*/x_was_alive);
+  // z's inherited bag needs a replica set of its own (z's old set was
+  // dropped during its departure above).
+  ReplicateFullSync(z);
 }
 
 }  // namespace baton

@@ -93,9 +93,12 @@ bool BatonNetwork::TryAdjacentBalance(BatonNode* v) {
     best->data.Absorb(&moved);
   }
   // "Whenever this range changes, the link has to be modified to record the
-  // change": both nodes refresh the links caching their ranges.
+  // change": both nodes refresh the links caching their ranges, and both
+  // re-sync their replicas with the moved keys.
   RefreshInboundRefs(v, net::MsgType::kRangeUpdate);
   RefreshInboundRefs(best, net::MsgType::kRangeUpdate);
+  ReplicateFullSync(v);
+  ReplicateFullSync(best);
   return true;
 }
 
@@ -199,6 +202,12 @@ bool BatonNetwork::ExecuteRecruit(BatonNode* v, BatonNode* f) {
   shifts += ForcedJoin(v, f, /*splice_before=*/true,
                        /*prefer_right=*/!f_left_of_v);
   shift_sizes_.Add(shifts);
+  // Three bags changed hands: the receiver absorbed f's content, v shed half
+  // of its own to f. Each re-syncs its replicas (f recruits a fresh set; its
+  // old one was dropped when it detached).
+  ReplicateFullSync(receiver);
+  ReplicateFullSync(v);
+  ReplicateFullSync(f);
   return true;
 }
 

@@ -183,6 +183,7 @@ Status BatonNetwork::Insert(PeerId from, Key key) {
   }
   owner->data.Insert(key);
   ++total_keys_;
+  ReplicateInsert(owner, key);
   MaybeLoadBalance(owner);
   return Status::OK();
 }
@@ -195,6 +196,7 @@ Status BatonNetwork::Delete(PeerId from, Key key) {
     return Status::NotFound("key " + std::to_string(key));
   }
   --total_keys_;
+  ReplicateErase(owner, key);
   return Status::OK();
 }
 

@@ -70,6 +70,12 @@ BatonConfig BalancedConfig() {
   return cfg;
 }
 
+BatonConfig ReplicatedConfig(int r) {
+  BatonConfig cfg = BalancedConfig();
+  cfg.replication.factor = r;
+  return cfg;
+}
+
 BatonInstance BuildBaton(size_t n, uint64_t seed, BatonConfig cfg,
                          size_t keys_per_node,
                          workload::KeyGenerator* preload) {
@@ -186,10 +192,16 @@ uint64_t SumTypes(const net::CounterSnapshot& before,
 
 uint64_t MaintenanceDelta(const net::CounterSnapshot& before,
                           const net::CounterSnapshot& after) {
+  return CategoryDelta(before, after, net::MsgCategory::kMaintenance);
+}
+
+uint64_t CategoryDelta(const net::CounterSnapshot& before,
+                       const net::CounterSnapshot& after,
+                       net::MsgCategory category) {
   uint64_t sum = 0;
   for (int i = 0; i < net::kNumMsgTypes; ++i) {
     auto t = static_cast<net::MsgType>(i);
-    if (net::CategoryOf(t) == net::MsgCategory::kMaintenance) {
+    if (net::CategoryOf(t) == category) {
       sum += net::Network::DeltaOfType(before, after, t);
     }
   }

@@ -42,6 +42,10 @@ Options ParseOptions(int argc, char** argv);
 /// distribution.
 BatonConfig BalancedConfig();
 
+/// BalancedConfig plus replication at factor r (0 = off): each node's keys
+/// mirrored on r holders, restored on failure. The durability bench sweeps r.
+BatonConfig ReplicatedConfig(int r);
+
 struct BatonInstance {
   std::unique_ptr<net::Network> net;
   std::unique_ptr<BatonNetwork> overlay;
@@ -89,6 +93,12 @@ uint64_t SumTypes(const net::CounterSnapshot& before,
 /// Messages in the maintenance category (routing-table/link updates).
 uint64_t MaintenanceDelta(const net::CounterSnapshot& before,
                           const net::CounterSnapshot& after);
+
+/// Sum of per-type deltas over every type in `category` (derived from
+/// net::CategoryOf, so new message types are picked up automatically).
+uint64_t CategoryDelta(const net::CounterSnapshot& before,
+                       const net::CounterSnapshot& after,
+                       net::MsgCategory category);
 
 /// Prints a titled table (text or CSV per options).
 void Emit(const std::string& title, const TablePrinter& table, bool csv);

@@ -31,6 +31,13 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kLoadProbeReply: return "LoadProbeReply";
     case MsgType::kLoadMove: return "LoadMove";
     case MsgType::kRestructureShift: return "RestructureShift";
+    case MsgType::kReplicaPush: return "ReplicaPush";
+    case MsgType::kReplicaSync: return "ReplicaSync";
+    case MsgType::kReplicaDrop: return "ReplicaDrop";
+    case MsgType::kReplicaProbe: return "ReplicaProbe";
+    case MsgType::kReplicaProbeReply: return "ReplicaProbeReply";
+    case MsgType::kReplicaRestore: return "ReplicaRestore";
+    case MsgType::kReplicaRestoreReply: return "ReplicaRestoreReply";
     case MsgType::kChordLookup: return "ChordLookup";
     case MsgType::kChordJoinInit: return "ChordJoinInit";
     case MsgType::kChordUpdateOthers: return "ChordUpdateOthers";
@@ -81,6 +88,14 @@ MsgCategory CategoryOf(MsgType t) {
     case MsgType::kLoadMove:
     case MsgType::kRestructureShift:
       return MsgCategory::kLoadBalance;
+    case MsgType::kReplicaPush:
+    case MsgType::kReplicaSync:
+    case MsgType::kReplicaDrop:
+    case MsgType::kReplicaProbe:
+    case MsgType::kReplicaProbeReply:
+    case MsgType::kReplicaRestore:
+    case MsgType::kReplicaRestoreReply:
+      return MsgCategory::kReplication;
     case MsgType::kChordLookup:
     case MsgType::kChordJoinInit:
     case MsgType::kChordUpdateOthers:

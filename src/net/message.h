@@ -47,6 +47,15 @@ enum class MsgType : uint16_t {
   kLoadMove,              // bulk key movement between adjacent nodes
   kRestructureShift,      // one node handing its position to the next
 
+  // --- Replication (extension beyond the paper: durable keys under churn).
+  kReplicaPush,           // single-key update, primary -> holder
+  kReplicaSync,           // bulk replica (re)synchronisation, primary -> holder
+  kReplicaDrop,           // departing primary tells a holder to discard
+  kReplicaProbe,          // anti-entropy freshness check (version exchange)
+  kReplicaProbeReply,
+  kReplicaRestore,        // recovery request for a failed primary's replica
+  kReplicaRestoreReply,   // holder returns the replica contents
+
   // --- Chord baseline.
   kChordLookup,           // find_successor hop
   kChordJoinInit,         // building the joiner's finger table
@@ -78,6 +87,7 @@ enum class MsgCategory : uint8_t {
   kQuery,          // Fig 8(d,e)
   kData,           // Fig 8(c)
   kLoadBalance,    // Fig 8(g,h)
+  kReplication,    // replica push/sync/restore traffic (durability benches)
   kBaseline,       // Chord / multiway internal
   kOther,
 };

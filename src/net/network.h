@@ -101,8 +101,9 @@ class Network {
   size_t num_alive_ = 0;
 
   CounterSnapshot snapshot_;
-  // per-peer processed messages, by coarse category.
-  static constexpr int kNumCategories = 9;
+  // per-peer processed messages, by coarse category. Derived from the enum's
+  // last entry so adding a category can never desync the array dimension.
+  static constexpr int kNumCategories = static_cast<int>(MsgCategory::kOther) + 1;
   std::vector<std::array<uint64_t, kNumCategories>> processed_;
 
   bool defer_updates_ = false;

@@ -42,5 +42,29 @@ std::vector<Op> MakeMixedTrace(Rng* rng, KeyGenerator* gen, size_t inserts,
   return trace;
 }
 
+std::vector<Op> MakeChurnTrace(Rng* rng, KeyGenerator* gen,
+                               const ChurnMix& mix) {
+  std::vector<Op> trace;
+  trace.reserve(mix.joins + mix.leaves + mix.failures + mix.inserts +
+                mix.exacts);
+  for (size_t i = 0; i < mix.joins; ++i) {
+    trace.push_back(Op{OpType::kJoin, 0, 0});
+  }
+  for (size_t i = 0; i < mix.leaves; ++i) {
+    trace.push_back(Op{OpType::kLeave, 0, 0});
+  }
+  for (size_t i = 0; i < mix.failures; ++i) {
+    trace.push_back(Op{OpType::kFail, 0, 0});
+  }
+  for (size_t i = 0; i < mix.inserts; ++i) {
+    trace.push_back(Op{OpType::kInsert, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < mix.exacts; ++i) {
+    trace.push_back(Op{OpType::kExact, gen->Next(rng), 0});
+  }
+  rng->Shuffle(&trace);
+  return trace;
+}
+
 }  // namespace workload
 }  // namespace baton

@@ -50,7 +50,15 @@ class ZipfKeys : public KeyGenerator {
 };
 
 /// A recorded operation stream.
-enum class OpType : uint8_t { kInsert, kDelete, kExact, kRange, kJoin, kLeave };
+enum class OpType : uint8_t {
+  kInsert,
+  kDelete,
+  kExact,
+  kRange,
+  kJoin,
+  kLeave,
+  kFail,  // abrupt failure of a random peer (churn traces)
+};
 struct Op {
   OpType type;
   Key key = 0;
@@ -61,6 +69,21 @@ struct Op {
 std::vector<Op> MakeMixedTrace(Rng* rng, KeyGenerator* gen, size_t inserts,
                                size_t deletes, size_t exacts, size_t ranges,
                                Key range_width);
+
+/// Operation mix for a churn trace (the durability experiments).
+struct ChurnMix {
+  size_t joins = 0;
+  size_t leaves = 0;
+  size_t failures = 0;  // each kFail op crashes one random live peer
+  size_t inserts = 0;
+  size_t exacts = 0;
+};
+
+/// Builds a shuffled membership-churn trace: joins, graceful leaves, abrupt
+/// failures and index traffic interleaved. Key-less ops (join/leave/fail)
+/// carry key == 0; the driver picks the affected peer.
+std::vector<Op> MakeChurnTrace(Rng* rng, KeyGenerator* gen,
+                               const ChurnMix& mix);
 
 }  // namespace workload
 }  // namespace baton

@@ -10,6 +10,7 @@
 // cover exponentially less key space, so data-driven joins rarely fill the
 // configured fan-out and the tree stays nearly binary in practice.
 #include "bench_common/experiment.h"
+#include "overlay/multiway_overlay.h"
 #include "util/stats.h"
 
 namespace baton {
@@ -26,44 +27,45 @@ void Run(const Options& opt) {
       uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
       Rng rng(Mix64(seed ^ 0xab2));
       workload::UniformKeys keys(1, 1000000000);
-      auto mi = BuildMultiway(n, seed, fanout, opt.keys_per_node, &keys);
-      depth.Add(mi.tree->Depth());
-      for (net::PeerId m : mi.tree->Members()) {
-        size_t c = mi.tree->node(m).children.size();
+      overlay::Config cfg;
+      cfg.multiway.max_fanout = fanout;
+      auto mi = BuildOverlay("multiway", n, seed, cfg, opt.keys_per_node,
+                             &keys);
+      const multiway::MultiwayNetwork& tree =
+          overlay::MultiwayBackend(*mi.overlay);
+      depth.Add(tree.Depth());
+      for (net::PeerId m : tree.Members()) {
+        size_t c = tree.node(m).children.size();
         if (c > 0) kids.Add(static_cast<double>(c));
       }
 
       for (int i = 0; i < 50; ++i) {
-        auto before = mi.net->Snapshot();
         auto joined =
-            mi.tree->Join(mi.members[rng.NextBelow(mi.members.size())]);
+            mi.overlay->Join(mi.members[rng.NextBelow(mi.members.size())]);
         BATON_CHECK(joined.ok());
-        mi.members.push_back(joined.value());
-        auto mid = mi.net->Snapshot();
-        join.Add(static_cast<double>(net::Network::Delta(before, mid)));
+        mi.members.push_back(joined.peer);
+        join.Add(static_cast<double>(joined.messages));
 
         // The paper's leave-cost claim concerns internal nodes (the leaver
         // polls all children): pick one when possible.
         size_t idx = rng.NextBelow(mi.members.size());
         for (size_t probe = 0; probe < mi.members.size(); ++probe) {
           size_t j = (idx + probe) % mi.members.size();
-          if (!mi.tree->node(mi.members[j]).children.empty()) {
+          if (!tree.node(mi.members[j]).children.empty()) {
             idx = j;
             break;
           }
         }
-        BATON_CHECK(mi.tree->Leave(mi.members[idx]).ok());
+        auto left = mi.overlay->Leave(mi.members[idx]);
+        BATON_CHECK(left.ok());
         mi.members.erase(mi.members.begin() + static_cast<long>(idx));
-        leave.Add(static_cast<double>(
-            net::Network::Delta(mid, mi.net->Snapshot())));
+        leave.Add(static_cast<double>(left.messages));
       }
       for (int i = 0; i < opt.queries / 2; ++i) {
-        auto before = mi.net->Snapshot();
-        auto r = mi.tree->ExactSearch(
+        auto r = mi.overlay->ExactSearch(
             mi.members[rng.NextBelow(mi.members.size())], keys.Next(&rng));
         BATON_CHECK(r.ok());
-        search.Add(static_cast<double>(
-            net::Network::Delta(before, mi.net->Snapshot())));
+        search.Add(static_cast<double>(r.messages));
       }
     }
     table.AddRow({TablePrinter::Int(fanout), TablePrinter::Num(depth.mean(), 1),

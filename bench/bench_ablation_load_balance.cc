@@ -6,6 +6,7 @@
 // region stays overloaded and migration traffic grows -- while recruiting
 // moves spare capacity into the hot region and caps the maximum load.
 #include "bench_common/experiment.h"
+#include "overlay/baton_overlay.h"
 #include "util/stats.h"
 
 namespace baton {
@@ -19,39 +20,41 @@ struct Outcome {
 };
 
 Outcome RunOne(size_t n, uint64_t seed, size_t keys_per_node, int scheme) {
-  BatonConfig cfg = BalancedConfig();
-  cfg.enable_remote_recruit = scheme >= 1;
-  cfg.enable_recruit_directory = scheme >= 2;
+  overlay::Config cfg;
+  cfg.baton = BalancedConfig();
+  cfg.baton.enable_remote_recruit = scheme >= 1;
+  cfg.baton.enable_recruit_directory = scheme >= 2;
   workload::UniformKeys preload(1, 1000000000);
-  auto bi = BuildBaton(n, seed, cfg, keys_per_node, &preload);
+  auto bi = BuildOverlay("baton", n, seed, cfg, keys_per_node, &preload);
+  const BatonNetwork& tree = overlay::BatonBackend(*bi.overlay);
   Rng rng(Mix64(seed ^ 0xab1));
   workload::ZipfKeys zipf(1, 1000000000, 1.0);
 
-  auto base = bi.net->Snapshot();
+  auto base = bi.net()->Snapshot();
   uint64_t total = keys_per_node * n;
   uint64_t routing = 0;
   for (uint64_t i = 0; i < total; ++i) {
-    auto before = bi.net->Snapshot();
-    Status s = bi.overlay->Insert(
+    auto before = bi.net()->Snapshot();
+    auto st = bi.overlay->Insert(
         bi.members[rng.NextBelow(bi.members.size())], zipf.Next(&rng));
-    BATON_CHECK(s.ok()) << s.ToString();
-    routing += SumTypes(before, bi.net->Snapshot(), {net::MsgType::kInsert});
+    BATON_CHECK(st.ok()) << st.status.ToString();
+    routing += SumTypes(before, bi.net()->Snapshot(), {net::MsgType::kInsert});
   }
   bi.overlay->CheckInvariants();
 
   Outcome out;
   size_t max_load = 0;
   for (net::PeerId p : bi.overlay->Members()) {
-    max_load = std::max(max_load, bi.overlay->node(p).data.size());
+    max_load = std::max(max_load, tree.node(p).data.size());
   }
   double avg = static_cast<double>(bi.overlay->total_keys()) /
                static_cast<double>(bi.overlay->size());
   out.max_over_avg = static_cast<double>(max_load) / avg;
   out.lb_msgs_per_op =
-      static_cast<double>(net::Network::Delta(base, bi.net->Snapshot()) -
+      static_cast<double>(net::Network::Delta(base, bi.net()->Snapshot()) -
                           routing) /
       static_cast<double>(total);
-  out.lb_ops = static_cast<double>(bi.overlay->load_balance_ops());
+  out.lb_ops = static_cast<double>(tree.load_balance_ops());
   return out;
 }
 

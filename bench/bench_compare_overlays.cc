@@ -1,0 +1,122 @@
+// Head-to-head comparison of every registered overlay backend under one
+// identical workload, driven entirely through the generic overlay::Overlay
+// interface + workload::Replay -- no per-backend wiring. This is the
+// one-binary replacement for the comparison plumbing the fig8 benches used
+// to duplicate: add a backend to overlay::Register and it shows up here.
+//
+// Per backend and network size the bench builds the overlay (preloading
+// order-preserving backends while they grow), replays the same mixed
+// churn + query trace, and reports search hops, per-operation message
+// costs, and the maintenance (routing-table update) traffic the churn
+// induced. Backends without a capability print "n/a" in that column.
+//
+//   ./bench_compare_overlays --sizes=200 --seeds=1
+//   ./bench_compare_overlays --overlay=baton,chord --sizes=1000
+#include <string>
+
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+#include "workload/replay.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+constexpr Key kDomainHi = 1000000000;
+
+struct SeriesStats {
+  RunningStat search_hops, search_msgs, range_msgs, insert_msgs;
+  RunningStat join_msgs, leave_msgs, maint_msgs;
+  bool range_supported = true;
+};
+
+void RunBackend(const std::string& name, size_t n, const Options& opt,
+                SeriesStats* out) {
+  for (int s = 0; s < opt.seeds; ++s) {
+    uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+    workload::UniformKeys keys(1, kDomainHi);
+
+    // Order-preserving backends preload while growing (ranges track the
+    // content median); hash-partitioned ones are insensitive to load order
+    // and get the same data afterwards from a dedicated rng, so the
+    // trace/replay stream below is identical for every backend.
+    overlay::Config cfg = BalancedOverlayConfig();
+    Instance inst;
+    if (overlay::Make(name, cfg)->Supports(overlay::kOrderedGrowth)) {
+      inst = BuildOverlay(name, n, seed, cfg, opt.keys_per_node, &keys);
+    } else {
+      Rng load_rng(Mix64(seed ^ 0x10ad));
+      inst = BuildOverlay(name, n, seed, cfg);
+      LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
+    }
+
+    workload::ChurnMix mix;
+    mix.joins = n / 10;
+    mix.leaves = n / 10;
+    mix.inserts = static_cast<size_t>(opt.queries);
+    mix.exacts = static_cast<size_t>(opt.queries);
+    mix.ranges = static_cast<size_t>(opt.queries) / 10;
+    mix.range_width = kDomainHi / 1000;  // 0.1% selectivity, as in Fig 8(e)
+    Rng rng(Mix64(seed ^ 0xc03a));
+    workload::Trace trace = workload::MakeChurnTrace(&rng, &keys, mix);
+
+    auto before = inst.net()->Snapshot();
+    workload::ReplayResult res =
+        workload::Replay(*inst.overlay, trace, &rng, &inst.members);
+    auto after = inst.net()->Snapshot();
+    inst.overlay->CheckInvariants();
+
+    using workload::OpType;
+    out->search_hops.Add(res.of(OpType::kExact).MeanHops());
+    out->search_msgs.Add(res.of(OpType::kExact).MeanMessages());
+    out->insert_msgs.Add(res.of(OpType::kInsert).MeanMessages());
+    out->join_msgs.Add(res.of(OpType::kJoin).MeanMessages());
+    out->leave_msgs.Add(res.of(OpType::kLeave).MeanMessages());
+    if (!inst.overlay->Supports(overlay::kRangeSearch)) {
+      out->range_supported = false;
+    } else {
+      out->range_msgs.Add(res.of(OpType::kRange).MeanMessages());
+    }
+    uint64_t churn_ops = res.of(OpType::kJoin).count +
+                         res.of(OpType::kLeave).count;
+    if (churn_ops > 0) {
+      out->maint_msgs.Add(
+          static_cast<double>(MaintenanceDelta(before, after)) /
+          static_cast<double>(churn_ops));
+    }
+  }
+}
+
+void Run(const Options& opt) {
+  TablePrinter table({"N", "overlay", "caps", "search_hops", "search_msgs",
+                      "range_msgs", "insert_msgs", "join_msgs", "leave_msgs",
+                      "maint_per_churn"});
+  for (size_t n : opt.sizes) {
+    for (const std::string& name : SelectedOverlays(opt)) {
+      SeriesStats st;
+      RunBackend(name, n, opt, &st);
+      uint32_t caps = overlay::Make(name)->capabilities();
+      table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)), name,
+                    overlay::CapabilitiesToString(caps),
+                    TablePrinter::Num(st.search_hops.mean()),
+                    TablePrinter::Num(st.search_msgs.mean()),
+                    st.range_supported ? TablePrinter::Num(st.range_msgs.mean())
+                                       : "n/a",
+                    TablePrinter::Num(st.insert_msgs.mean()),
+                    TablePrinter::Num(st.join_msgs.mean()),
+                    TablePrinter::Num(st.leave_msgs.mean()),
+                    TablePrinter::Num(st.maint_msgs.mean())});
+    }
+  }
+  Emit("Overlay comparison: same trace, every registered backend", table,
+       opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Run(baton::bench::ParseOptions(argc, argv));
+  return 0;
+}

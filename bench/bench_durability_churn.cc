@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common/experiment.h"
+#include "overlay/baton_overlay.h"
 #include "util/stats.h"
 
 namespace baton {
@@ -34,9 +35,12 @@ void Run(const Options& opt) {
         uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
         Rng rng(Mix64(seed ^ 0xd07a));
         workload::UniformKeys keys(1, 1000000000);
-        auto bi = BuildBaton(n, seed, ReplicatedConfig(r), opt.keys_per_node,
-                             &keys);
-        auto before = bi.net->Snapshot();
+        overlay::Config cfg;
+        cfg.baton = ReplicatedConfig(r);
+        auto bi = BuildOverlay("baton", n, seed, cfg, opt.keys_per_node,
+                               &keys);
+        BatonNetwork& tree = overlay::BatonBackend(*bi.overlay);
+        auto before = bi.net()->Snapshot();
 
         workload::ChurnMix mix;
         mix.joins = n / 20;
@@ -50,7 +54,7 @@ void Run(const Options& opt) {
           net::PeerId p;
           do {
             p = bi.members[rng.NextBelow(bi.members.size())];
-          } while (!bi.net->IsAlive(p));
+          } while (!bi.net()->IsAlive(p));
           return p;
         };
         auto drop_member = [&](net::PeerId p) {
@@ -68,7 +72,7 @@ void Run(const Options& opt) {
           switch (op.type) {
             case workload::OpType::kJoin: {
               auto joined = bi.overlay->Join(live_member());
-              if (joined.ok()) bi.members.push_back(joined.value());
+              if (joined.ok()) bi.members.push_back(joined.peer);
               break;
             }
             case workload::OpType::kLeave: {
@@ -80,7 +84,7 @@ void Run(const Options& opt) {
             case workload::OpType::kFail: {
               if (bi.overlay->size() <= 8) break;
               net::PeerId victim = live_member();
-              at_risk += bi.overlay->node(victim).data.size();
+              at_risk += tree.node(victim).data.size();
               ++failures_run;
               bi.overlay->Fail(victim);
               // Single-failure trace: recovery completes before the next op.
@@ -89,26 +93,26 @@ void Run(const Options& opt) {
               break;
             }
             case workload::OpType::kInsert:
-              bi.overlay->Insert(live_member(), op.key).ok();
+              bi.overlay->Insert(live_member(), op.key);
               break;
             case workload::OpType::kExact:
-              bi.overlay->ExactSearch(live_member(), op.key).ok();
+              bi.overlay->ExactSearch(live_member(), op.key);
               break;
             default:
               break;
           }
           // Background anti-entropy: periodic probe/heal pass.
           if (++ops % 512 == 0) {
-            healed += bi.overlay->RepairReplicas().healed;
+            healed += tree.RepairReplicas().healed;
           }
         }
         bi.overlay->CheckInvariants();
 
-        auto after = bi.net->Snapshot();
+        auto after = bi.net()->Snapshot();
         failures_s.Add(static_cast<double>(failures_run));
         at_risk_s.Add(static_cast<double>(at_risk));
-        lost_s.Add(static_cast<double>(bi.overlay->lost_keys()));
-        recovered_s.Add(static_cast<double>(bi.overlay->recovered_keys()));
+        lost_s.Add(static_cast<double>(tree.lost_keys()));
+        recovered_s.Add(static_cast<double>(tree.recovered_keys()));
         repl_s.Add(static_cast<double>(ReplicaDelta(before, after)));
         total_s.Add(static_cast<double>(net::Network::Delta(before, after)));
         healed_s.Add(static_cast<double>(healed));

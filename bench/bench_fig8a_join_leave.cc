@@ -1,6 +1,6 @@
 // Figure 8(a): average messages to find the destination node of a join and
 // the replacement node of a leave, vs network size; BATON vs Chord vs the
-// multiway tree.
+// multiway tree, all driven through the generic overlay::Overlay API.
 //
 // Expected shape (paper section V-A): BATON's costs stay nearly flat and far
 // below log N (requests hop between leaf levels, never through the root);
@@ -17,6 +17,19 @@ namespace {
 
 constexpr int kChurnOps = 100;
 
+/// JoinLeaveChurn with each phase's cost = the type-filtered delta of the
+/// "find the join node" / "find the replacement" search messages.
+void ChurnSeries(Instance* inst, Rng* rng,
+                 std::initializer_list<net::MsgType> join_types,
+                 std::initializer_list<net::MsgType> leave_types,
+                 RunningStat* join_stat, RunningStat* leave_stat) {
+  JoinLeaveChurn(
+      inst, rng, kChurnOps,
+      [&](const auto& a, const auto& b) { return SumTypes(a, b, join_types); },
+      [&](const auto& a, const auto& b) { return SumTypes(a, b, leave_types); },
+      join_stat, leave_stat);
+}
+
 void Run(const Options& opt) {
   TablePrinter table({"N", "baton_join", "baton_leave", "chord_join",
                       "chord_leave", "multiway_join", "multiway_leave"});
@@ -27,71 +40,25 @@ void Run(const Options& opt) {
       Rng rng(Mix64(seed ^ 0x8a));
 
       workload::UniformKeys keys(1, 1000000000);
-      // --- BATON ---
       {
-        auto bi = BuildBaton(n, seed, BalancedConfig(),
-                             opt.keys_per_node, &keys);
-        for (int i = 0; i < kChurnOps; ++i) {
-          auto before = bi.net->Snapshot();
-          auto joined = bi.overlay->Join(
-              bi.members[rng.NextBelow(bi.members.size())]);
-          BATON_CHECK(joined.ok());
-          bi.members.push_back(joined.value());
-          auto mid = bi.net->Snapshot();
-          bj.Add(static_cast<double>(
-              SumTypes(before, mid, {net::MsgType::kJoinForward})));
-
-          size_t idx = rng.NextBelow(bi.members.size());
-          net::PeerId victim = bi.members[idx];
-          BATON_CHECK(bi.overlay->Leave(victim).ok());
-          bi.members.erase(bi.members.begin() + static_cast<long>(idx));
-          auto after = bi.net->Snapshot();
-          bl.Add(static_cast<double>(
-              SumTypes(mid, after, {net::MsgType::kReplacementForward})));
-        }
+        auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                               opt.keys_per_node, &keys);
+        ChurnSeries(&bi, &rng, {net::MsgType::kJoinForward},
+                    {net::MsgType::kReplacementForward}, &bj, &bl);
       }
-      // --- Chord ---
       {
-        auto ci = BuildChord(n, seed);
-        for (int i = 0; i < kChurnOps; ++i) {
-          auto before = ci.net->Snapshot();
-          auto joined =
-              ci.ring->Join(ci.members[rng.NextBelow(ci.members.size())]);
-          BATON_CHECK(joined.ok());
-          ci.members.push_back(joined.value());
-          auto mid = ci.net->Snapshot();
-          cj.Add(static_cast<double>(
-              SumTypes(before, mid, {net::MsgType::kChordLookup})));
-
-          size_t idx = rng.NextBelow(ci.members.size());
-          BATON_CHECK(ci.ring->Leave(ci.members[idx]).ok());
-          ci.members.erase(ci.members.begin() + static_cast<long>(idx));
-          // Chord's successor absorbs the leaver: no replacement search.
-          cl.Add(0.0);
-        }
+        auto ci = BuildOverlay("chord", n, seed);
+        // Chord's successor absorbs the leaver: no replacement search, so
+        // the leave column stays 0 by construction.
+        ChurnSeries(&ci, &rng, {net::MsgType::kChordLookup}, {}, &cj, &cl);
       }
-      // --- Multiway tree ---
       {
-        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
-        for (int i = 0; i < kChurnOps; ++i) {
-          auto before = mi.net->Snapshot();
-          auto joined =
-              mi.tree->Join(mi.members[rng.NextBelow(mi.members.size())]);
-          BATON_CHECK(joined.ok());
-          mi.members.push_back(joined.value());
-          auto mid = mi.net->Snapshot();
-          mj.Add(static_cast<double>(SumTypes(
-              before, mid,
-              {net::MsgType::kMultiwayJoinForward,
-               net::MsgType::kMultiwayProbe})));
-
-          size_t idx = rng.NextBelow(mi.members.size());
-          BATON_CHECK(mi.tree->Leave(mi.members[idx]).ok());
-          mi.members.erase(mi.members.begin() + static_cast<long>(idx));
-          auto after = mi.net->Snapshot();
-          ml.Add(static_cast<double>(
-              SumTypes(mid, after, {net::MsgType::kMultiwayChildPoll})));
-        }
+        auto mi = BuildOverlay("multiway", n, seed, {}, opt.keys_per_node,
+                               &keys);
+        ChurnSeries(&mi, &rng,
+                    {net::MsgType::kMultiwayJoinForward,
+                     net::MsgType::kMultiwayProbe},
+                    {net::MsgType::kMultiwayChildPoll}, &mj, &ml);
       }
     }
     table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),

@@ -14,6 +14,14 @@ namespace {
 
 constexpr int kChurnOps = 100;
 
+/// JoinLeaveChurn with one `cost` mapping a snapshot pair to the
+/// table-update message count, applied to both phases.
+template <typename CostFn>
+void ChurnSeries(Instance* inst, Rng* rng, CostFn&& cost,
+                 RunningStat* join_stat, RunningStat* leave_stat) {
+  JoinLeaveChurn(inst, rng, kChurnOps, cost, cost, join_stat, leave_stat);
+}
+
 void Run(const Options& opt) {
   TablePrinter table({"N", "baton_join", "baton_leave", "chord_join",
                       "chord_leave", "multiway_join", "multiway_leave"});
@@ -25,65 +33,37 @@ void Run(const Options& opt) {
 
       workload::UniformKeys keys(1, 1000000000);
       {
-        auto bi = BuildBaton(n, seed, BalancedConfig(),
-                             opt.keys_per_node, &keys);
-        for (int i = 0; i < kChurnOps; ++i) {
-          auto before = bi.net->Snapshot();
-          auto joined = bi.overlay->Join(
-              bi.members[rng.NextBelow(bi.members.size())]);
-          BATON_CHECK(joined.ok());
-          bi.members.push_back(joined.value());
-          auto mid = bi.net->Snapshot();
-          bj.Add(static_cast<double>(MaintenanceDelta(before, mid)));
-
-          size_t idx = rng.NextBelow(bi.members.size());
-          BATON_CHECK(bi.overlay->Leave(bi.members[idx]).ok());
-          bi.members.erase(bi.members.begin() + static_cast<long>(idx));
-          auto after = bi.net->Snapshot();
-          bl.Add(static_cast<double>(MaintenanceDelta(mid, after)));
-        }
+        auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                               opt.keys_per_node, &keys);
+        ChurnSeries(
+            &bi, &rng,
+            [](const auto& a, const auto& b) { return MaintenanceDelta(a, b); },
+            &bj, &bl);
       }
       {
-        auto ci = BuildChord(n, seed);
+        auto ci = BuildOverlay("chord", n, seed);
         auto update_types = {net::MsgType::kChordJoinInit,
                              net::MsgType::kChordUpdateOthers,
                              net::MsgType::kChordNotify,
                              net::MsgType::kChordKeyMove};
-        for (int i = 0; i < kChurnOps; ++i) {
-          auto before = ci.net->Snapshot();
-          auto joined =
-              ci.ring->Join(ci.members[rng.NextBelow(ci.members.size())]);
-          BATON_CHECK(joined.ok());
-          ci.members.push_back(joined.value());
-          auto mid = ci.net->Snapshot();
-          cj.Add(static_cast<double>(SumTypes(before, mid, update_types)));
-
-          size_t idx = rng.NextBelow(ci.members.size());
-          BATON_CHECK(ci.ring->Leave(ci.members[idx]).ok());
-          ci.members.erase(ci.members.begin() + static_cast<long>(idx));
-          auto after = ci.net->Snapshot();
-          cl.Add(static_cast<double>(SumTypes(mid, after, update_types)));
-        }
+        ChurnSeries(
+            &ci, &rng,
+            [&](const auto& a, const auto& b) {
+              return SumTypes(a, b, update_types);
+            },
+            &cj, &cl);
       }
       {
-        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
+        auto mi = BuildOverlay("multiway", n, seed, {}, opt.keys_per_node,
+                               &keys);
         auto update_types = {net::MsgType::kMultiwayLinkUpdate,
                              net::MsgType::kContentTransfer};
-        for (int i = 0; i < kChurnOps; ++i) {
-          auto before = mi.net->Snapshot();
-          auto joined =
-              mi.tree->Join(mi.members[rng.NextBelow(mi.members.size())]);
-          BATON_CHECK(joined.ok());
-          mi.members.push_back(joined.value());
-          auto mid = mi.net->Snapshot();
-          mj.Add(static_cast<double>(SumTypes(before, mid, update_types)));
-
-          size_t idx = rng.NextBelow(mi.members.size());
-          BATON_CHECK(mi.tree->Leave(mi.members[idx]).ok());
-          mi.members.erase(mi.members.begin() + static_cast<long>(idx));
-          auto after = mi.net->Snapshot();
-          ml.Add(static_cast<double>(SumTypes(mid, after, update_types)));
-        }
+        ChurnSeries(
+            &mi, &rng,
+            [&](const auto& a, const auto& b) {
+              return SumTypes(a, b, update_types);
+            },
+            &mj, &ml);
       }
     }
     table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),

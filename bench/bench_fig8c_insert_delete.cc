@@ -1,5 +1,7 @@
 // Figure 8(c): average messages per insert and delete operation vs network
-// size, on a data-loaded network.
+// size, on a data-loaded network. One generic series per backend: insert
+// `queries` keys, then delete them, reading each operation's cost straight
+// from OpStats::messages.
 //
 // Expected shape: BATON and Chord both ~log N, BATON slightly above Chord
 // (tree height can reach 1.44 log2 N); the multiway tree clearly worse.
@@ -9,6 +11,26 @@
 namespace baton {
 namespace bench {
 namespace {
+
+void InsertDeleteSeries(Instance* inst, Rng* rng, workload::KeyGenerator* keys,
+                        int ops, RunningStat* ins_stat, RunningStat* del_stat) {
+  std::vector<Key> inserted;
+  for (int i = 0; i < ops; ++i) {
+    Key k = keys->Next(rng);
+    inserted.push_back(k);
+    auto st = inst->overlay->Insert(
+        inst->members[rng->NextBelow(inst->members.size())], k);
+    BATON_CHECK(st.ok());
+    ins_stat->Add(static_cast<double>(st.messages));
+  }
+  for (int i = 0; i < ops; ++i) {
+    auto st = inst->overlay->Delete(
+        inst->members[rng->NextBelow(inst->members.size())],
+        inserted[static_cast<size_t>(i)]);
+    BATON_CHECK(st.ok());
+    del_stat->Add(static_cast<double>(st.messages));
+  }
+}
 
 void Run(const Options& opt) {
   TablePrinter table({"N", "baton_ins", "baton_del", "chord_ins", "chord_del",
@@ -22,75 +44,19 @@ void Run(const Options& opt) {
       int ops = opt.queries;
 
       {
-        auto bi = BuildBaton(n, seed, BalancedConfig(),
-                             opt.keys_per_node, &keys);
-        std::vector<Key> inserted;
-        for (int i = 0; i < ops; ++i) {
-          Key k = keys.Next(&rng);
-          inserted.push_back(k);
-          auto before = bi.net->Snapshot();
-          BATON_CHECK(
-              bi.overlay->Insert(bi.members[rng.NextBelow(bi.members.size())], k)
-                  .ok());
-          bi_s.Add(static_cast<double>(
-              net::Network::Delta(before, bi.net->Snapshot())));
-        }
-        for (int i = 0; i < ops; ++i) {
-          auto before = bi.net->Snapshot();
-          BATON_CHECK(bi.overlay
-                          ->Delete(bi.members[rng.NextBelow(bi.members.size())],
-                                   inserted[static_cast<size_t>(i)])
-                          .ok());
-          bd_s.Add(static_cast<double>(
-              net::Network::Delta(before, bi.net->Snapshot())));
-        }
+        auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                               opt.keys_per_node, &keys);
+        InsertDeleteSeries(&bi, &rng, &keys, ops, &bi_s, &bd_s);
       }
       {
-        auto ci = BuildChord(n, seed);
-        LoadChord(&ci, opt.keys_per_node, &keys, &rng);
-        std::vector<Key> inserted;
-        for (int i = 0; i < ops; ++i) {
-          Key k = keys.Next(&rng);
-          inserted.push_back(k);
-          auto before = ci.net->Snapshot();
-          BATON_CHECK(
-              ci.ring->Insert(ci.members[rng.NextBelow(ci.members.size())], k)
-                  .ok());
-          ci_s.Add(static_cast<double>(
-              net::Network::Delta(before, ci.net->Snapshot())));
-        }
-        for (int i = 0; i < ops; ++i) {
-          auto before = ci.net->Snapshot();
-          BATON_CHECK(ci.ring
-                          ->Delete(ci.members[rng.NextBelow(ci.members.size())],
-                                   inserted[static_cast<size_t>(i)])
-                          .ok());
-          cd_s.Add(static_cast<double>(
-              net::Network::Delta(before, ci.net->Snapshot())));
-        }
+        auto ci = BuildOverlay("chord", n, seed);
+        LoadOverlay(&ci, opt.keys_per_node, &keys, &rng);
+        InsertDeleteSeries(&ci, &rng, &keys, ops, &ci_s, &cd_s);
       }
       {
-        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
-        std::vector<Key> inserted;
-        for (int i = 0; i < ops; ++i) {
-          Key k = keys.Next(&rng);
-          inserted.push_back(k);
-          auto before = mi.net->Snapshot();
-          BATON_CHECK(
-              mi.tree->Insert(mi.members[rng.NextBelow(mi.members.size())], k)
-                  .ok());
-          mi_s.Add(static_cast<double>(
-              net::Network::Delta(before, mi.net->Snapshot())));
-        }
-        for (int i = 0; i < ops; ++i) {
-          auto before = mi.net->Snapshot();
-          BATON_CHECK(mi.tree
-                          ->Delete(mi.members[rng.NextBelow(mi.members.size())],
-                                   inserted[static_cast<size_t>(i)])
-                          .ok());
-          md_s.Add(static_cast<double>(
-              net::Network::Delta(before, mi.net->Snapshot())));
-        }
+        auto mi = BuildOverlay("multiway", n, seed, {}, opt.keys_per_node,
+                               &keys);
+        InsertDeleteSeries(&mi, &rng, &keys, ops, &mi_s, &md_s);
       }
     }
     table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),

@@ -1,4 +1,5 @@
-// Figure 8(d): average messages per exact-match query vs network size.
+// Figure 8(d): average messages per exact-match query vs network size. One
+// generic query loop serves every backend through overlay::Overlay.
 //
 // Expected shape: BATON ~log N, slightly above Chord (the 1.44 height
 // factor); the multiway tree clearly worse (hop-by-hop, no sideways tables).
@@ -8,6 +9,16 @@
 namespace baton {
 namespace bench {
 namespace {
+
+void QuerySeries(Instance* inst, Rng* rng, workload::KeyGenerator* keys,
+                 int queries, RunningStat* stat) {
+  for (int i = 0; i < queries; ++i) {
+    auto st = inst->overlay->ExactSearch(
+        inst->members[rng->NextBelow(inst->members.size())], keys->Next(rng));
+    BATON_CHECK(st.ok());
+    stat->Add(static_cast<double>(st.messages));
+  }
+}
 
 void Run(const Options& opt) {
   TablePrinter table({"N", "baton", "chord", "multiway"});
@@ -19,39 +30,19 @@ void Run(const Options& opt) {
       workload::UniformKeys keys(1, 1000000000);
 
       {
-        auto bi = BuildBaton(n, seed, BalancedConfig(),
-                             opt.keys_per_node, &keys);
-        for (int i = 0; i < opt.queries; ++i) {
-          auto before = bi.net->Snapshot();
-          auto res = bi.overlay->ExactSearch(
-              bi.members[rng.NextBelow(bi.members.size())], keys.Next(&rng));
-          BATON_CHECK(res.ok());
-          b.Add(static_cast<double>(
-              net::Network::Delta(before, bi.net->Snapshot())));
-        }
+        auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                               opt.keys_per_node, &keys);
+        QuerySeries(&bi, &rng, &keys, opt.queries, &b);
       }
       {
-        auto ci = BuildChord(n, seed);
-        LoadChord(&ci, opt.keys_per_node, &keys, &rng);
-        for (int i = 0; i < opt.queries; ++i) {
-          auto before = ci.net->Snapshot();
-          auto res = ci.ring->Lookup(
-              ci.members[rng.NextBelow(ci.members.size())], keys.Next(&rng));
-          BATON_CHECK(res.ok());
-          c.Add(static_cast<double>(
-              net::Network::Delta(before, ci.net->Snapshot())));
-        }
+        auto ci = BuildOverlay("chord", n, seed);
+        LoadOverlay(&ci, opt.keys_per_node, &keys, &rng);
+        QuerySeries(&ci, &rng, &keys, opt.queries, &c);
       }
       {
-        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
-        for (int i = 0; i < opt.queries; ++i) {
-          auto before = mi.net->Snapshot();
-          auto res = mi.tree->ExactSearch(
-              mi.members[rng.NextBelow(mi.members.size())], keys.Next(&rng));
-          BATON_CHECK(res.ok());
-          m.Add(static_cast<double>(
-              net::Network::Delta(before, mi.net->Snapshot())));
-        }
+        auto mi = BuildOverlay("multiway", n, seed, {}, opt.keys_per_node,
+                               &keys);
+        QuerySeries(&mi, &rng, &keys, opt.queries, &m);
       }
     }
     table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),

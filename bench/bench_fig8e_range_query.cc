@@ -1,6 +1,7 @@
 // Figure 8(e): average messages per range query vs network size. Chord is
 // absent by design: "hashing destroys the ordering of data", so a DHT cannot
-// answer range queries without flooding.
+// answer range queries without flooding (Capability::kRangeSearch is how the
+// generic API expresses that).
 //
 // Expected shape: BATON ~ O(log N + X) where X is the number of nodes the
 // range spans; the multiway tree pays its more expensive routing phase.
@@ -12,6 +13,18 @@ namespace bench {
 namespace {
 
 constexpr Key kDomainHi = 1000000000;
+
+void RangeSeries(Instance* inst, Rng* rng, Key width, int queries,
+                 RunningStat* msgs, RunningStat* nodes) {
+  for (int i = 0; i < queries; ++i) {
+    Key lo = rng->UniformInt(1, kDomainHi - width - 1);
+    auto st = inst->overlay->RangeSearch(
+        inst->members[rng->NextBelow(inst->members.size())], lo, lo + width);
+    BATON_CHECK(st.ok());
+    msgs->Add(static_cast<double>(st.messages));
+    nodes->Add(static_cast<double>(st.nodes));
+  }
+}
 
 void Run(const Options& opt) {
   // Queries cover 0.1% of the key space: at N = 10000 that is ~10 nodes.
@@ -26,31 +39,14 @@ void Run(const Options& opt) {
       workload::UniformKeys keys(1, kDomainHi);
 
       {
-        auto bi = BuildBaton(n, seed, BalancedConfig(),
-                             opt.keys_per_node, &keys);
-        for (int i = 0; i < opt.queries; ++i) {
-          Key lo = rng.UniformInt(1, kDomainHi - width - 1);
-          auto before = bi.net->Snapshot();
-          auto res = bi.overlay->RangeSearch(
-              bi.members[rng.NextBelow(bi.members.size())], lo, lo + width);
-          BATON_CHECK(res.ok());
-          b.Add(static_cast<double>(
-              net::Network::Delta(before, bi.net->Snapshot())));
-          bn.Add(static_cast<double>(res.value().nodes.size()));
-        }
+        auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                               opt.keys_per_node, &keys);
+        RangeSeries(&bi, &rng, width, opt.queries, &b, &bn);
       }
       {
-        auto mi = BuildMultiway(n, seed, 4, opt.keys_per_node, &keys);
-        for (int i = 0; i < opt.queries; ++i) {
-          Key lo = rng.UniformInt(1, kDomainHi - width - 1);
-          auto before = mi.net->Snapshot();
-          auto res = mi.tree->RangeSearch(
-              mi.members[rng.NextBelow(mi.members.size())], lo, lo + width);
-          BATON_CHECK(res.ok());
-          m.Add(static_cast<double>(
-              net::Network::Delta(before, mi.net->Snapshot())));
-          mn.Add(static_cast<double>(res.value().nodes.size()));
-        }
+        auto mi = BuildOverlay("multiway", n, seed, {}, opt.keys_per_node,
+                               &keys);
+        RangeSeries(&mi, &rng, width, opt.queries, &m, &mn);
       }
     }
     table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)),

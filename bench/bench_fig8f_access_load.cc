@@ -9,6 +9,7 @@
 #include <map>
 
 #include "bench_common/experiment.h"
+#include "overlay/baton_overlay.h"
 #include "util/stats.h"
 
 namespace baton {
@@ -26,30 +27,31 @@ void Run(const Options& opt) {
     uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
     Rng rng(Mix64(seed ^ 0x8f));
     workload::UniformKeys keys(1, 1000000000);
-    auto bi = BuildBaton(n, seed, BalancedConfig(),
-                             opt.keys_per_node, &keys);
+    auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                           opt.keys_per_node, &keys);
+    const BatonNetwork& tree = overlay::BatonBackend(*bi.overlay);
 
     // Insertion phase: keys_per_node additional keys per node on average.
-    bi.net->ResetPerPeerCounters();
-    LoadBaton(&bi, opt.keys_per_node, &keys, &rng);
+    bi.net()->ResetPerPeerCounters();
+    LoadOverlay(&bi, opt.keys_per_node, &keys, &rng);
     std::map<int, RunningStat> ins_this;
     for (net::PeerId p : bi.members) {
-      int level = static_cast<int>(bi.overlay->node(p).pos.level);
+      int level = static_cast<int>(tree.node(p).pos.level);
       ins_this[level].Add(static_cast<double>(
-          bi.net->ProcessedBy(p, net::MsgCategory::kData)));
+          bi.net()->ProcessedBy(p, net::MsgCategory::kData)));
     }
 
     // Search phase: `queries` exact-match queries from random origins.
-    bi.net->ResetPerPeerCounters();
+    bi.net()->ResetPerPeerCounters();
     for (int i = 0; i < 10 * opt.queries; ++i) {
       auto res = bi.overlay->ExactSearch(
           bi.members[rng.NextBelow(bi.members.size())], keys.Next(&rng));
       BATON_CHECK(res.ok());
     }
     for (net::PeerId p : bi.members) {
-      int level = static_cast<int>(bi.overlay->node(p).pos.level);
+      int level = static_cast<int>(tree.node(p).pos.level);
       search_load[level].Add(static_cast<double>(
-          bi.net->ProcessedBy(p, net::MsgCategory::kQuery)));
+          bi.net()->ProcessedBy(p, net::MsgCategory::kQuery)));
       insert_load[level].Add(ins_this[level].mean());
       ++level_nodes[level];
     }

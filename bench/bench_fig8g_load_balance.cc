@@ -6,6 +6,7 @@
 // the number of insertions and a very low per-insert overhead (the paper
 // reports ~1 message per ~1500 insert/deletes at its scale).
 #include "bench_common/experiment.h"
+#include "overlay/baton_overlay.h"
 #include "util/stats.h"
 
 namespace baton {
@@ -13,27 +14,22 @@ namespace bench {
 namespace {
 
 uint64_t RunSeries(size_t n, uint64_t seed, int keys_per_node,
-                   workload::KeyGenerator* gen, TablePrinter* table,
-                   const char* label, bool csv_row_per_checkpoint,
+                   workload::KeyGenerator* gen,
                    std::vector<std::pair<uint64_t, uint64_t>>* curve) {
-  (void)csv_row_per_checkpoint;
-  (void)table;
-  (void)label;
-  BatonConfig cfg = BalancedConfig();
   workload::UniformKeys preload(1, 1000000000);
-  auto bi = BuildBaton(n, seed, cfg, static_cast<size_t>(keys_per_node),
-                       &preload);
+  auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                         static_cast<size_t>(keys_per_node), &preload);
   Rng rng(Mix64(seed ^ 0x90));
   uint64_t total_inserts = static_cast<uint64_t>(keys_per_node) * n;
   uint64_t checkpoint = total_inserts / 10;
-  auto base = bi.net->Snapshot();
+  auto base = bi.net()->Snapshot();
   uint64_t insert_routing = 0;
   for (uint64_t i = 1; i <= total_inserts; ++i) {
-    auto before = bi.net->Snapshot();
-    Status s = bi.overlay->Insert(
+    auto before = bi.net()->Snapshot();
+    auto st = bi.overlay->Insert(
         bi.members[rng.NextBelow(bi.members.size())], gen->Next(&rng));
-    BATON_CHECK(s.ok()) << s.ToString();
-    auto after = bi.net->Snapshot();
+    BATON_CHECK(st.ok()) << st.status.ToString();
+    auto after = bi.net()->Snapshot();
     insert_routing += SumTypes(before, after, {net::MsgType::kInsert});
     if (i % checkpoint == 0) {
       // Load-balancing cost = everything beyond the plain insert routing.
@@ -42,7 +38,7 @@ uint64_t RunSeries(size_t n, uint64_t seed, int keys_per_node,
     }
   }
   bi.overlay->CheckInvariants();
-  return bi.overlay->load_balance_ops();
+  return overlay::BatonBackend(*bi.overlay).load_balance_ops();
 }
 
 void Run(const Options& opt) {
@@ -57,11 +53,9 @@ void Run(const Options& opt) {
     workload::ZipfKeys zipf(1, 1000000000, 1.0);
     std::vector<std::pair<uint64_t, uint64_t>> u, z;
     uni_ops.Add(static_cast<double>(
-        RunSeries(n, seed, static_cast<int>(opt.keys_per_node), &uni, &table,
-                  "uniform", false, &u)));
+        RunSeries(n, seed, static_cast<int>(opt.keys_per_node), &uni, &u)));
     zipf_ops.Add(static_cast<double>(
-        RunSeries(n, seed, static_cast<int>(opt.keys_per_node), &zipf, &table,
-                  "zipf", false, &z)));
+        RunSeries(n, seed, static_cast<int>(opt.keys_per_node), &zipf, &z)));
     if (uni_curve.empty()) {
       uni_curve = u;
       zipf_curve = z;

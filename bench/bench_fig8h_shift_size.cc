@@ -5,6 +5,7 @@
 // Expected shape: strongly exponential decay -- most forced joins are
 // absorbed after shifting only a couple of nodes; long chains are rare.
 #include "bench_common/experiment.h"
+#include "overlay/baton_overlay.h"
 
 namespace baton {
 namespace bench {
@@ -15,19 +16,19 @@ void Run(const Options& opt) {
   Histogram hist;
   for (int s = 0; s < opt.seeds; ++s) {
     uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
-    BatonConfig cfg = BalancedConfig();
     workload::UniformKeys preload(1, 1000000000);
-    auto bi = BuildBaton(n, seed, cfg, opt.keys_per_node, &preload);
+    auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
+                           opt.keys_per_node, &preload);
     Rng rng(Mix64(seed ^ 0x91));
     workload::ZipfKeys zipf(1, 1000000000, 1.0);
     uint64_t total = static_cast<uint64_t>(opt.keys_per_node) * n;
     for (uint64_t i = 0; i < total; ++i) {
-      Status st = bi.overlay->Insert(
+      auto st = bi.overlay->Insert(
           bi.members[rng.NextBelow(bi.members.size())], zipf.Next(&rng));
-      BATON_CHECK(st.ok()) << st.ToString();
+      BATON_CHECK(st.ok()) << st.status.ToString();
     }
     bi.overlay->CheckInvariants();
-    hist.Merge(bi.overlay->shift_sizes());
+    hist.Merge(overlay::BatonBackend(*bi.overlay).shift_sizes());
   }
 
   TablePrinter table({"nodes_shifted", "count", "fraction"});

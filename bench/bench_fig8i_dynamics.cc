@@ -26,18 +26,18 @@ void Run(const Options& opt) {
     for (size_t ci = 0; ci < churn_levels.size(); ++ci) {
       int churn = churn_levels[ci];
       Rng rng(Mix64(seed ^ 0x92));
-      auto bi = BuildBaton(n, seed, BalancedConfig(),
+      auto bi = BuildOverlay("baton", n, seed, BalancedOverlayConfig(),
                              opt.keys_per_node, &keys);
 
       // Apply K membership changes whose remote notifications stay queued.
-      bi.net->SetDeferUpdates(true);
+      bi.net()->SetDeferUpdates(true);
       int applied = 0;
       for (int i = 0; i < churn; ++i) {
         if (rng.NextBool(0.5)) {
           auto joined = bi.overlay->Join(
               bi.members[rng.NextBelow(bi.members.size())]);
           if (joined.ok()) {
-            bi.members.push_back(joined.value());
+            bi.members.push_back(joined.peer);
             ++applied;
           }
         } else {
@@ -53,19 +53,19 @@ void Run(const Options& opt) {
       // Queries race the in-flight updates.
       uint64_t query_msgs = 0;
       int failed = 0;
-      auto before = bi.net->Snapshot();
+      auto before = bi.net()->Snapshot();
       for (int q = 0; q < opt.queries; ++q) {
         auto res = bi.overlay->ExactSearch(
             bi.members[rng.NextBelow(bi.members.size())], keys.Next(&rng));
         if (!res.ok()) ++failed;
       }
-      query_msgs = net::Network::Delta(before, bi.net->Snapshot());
+      query_msgs = net::Network::Delta(before, bi.net()->Snapshot());
       msgs[ci].Add(static_cast<double>(query_msgs) / opt.queries);
       fails[ci].Add(100.0 * failed / opt.queries);
 
       // Updates drain; the overlay converges again.
-      bi.net->FlushDeferred();
-      bi.net->SetDeferUpdates(false);
+      bi.net()->FlushDeferred();
+      bi.net()->SetDeferUpdates(false);
     }
   }
 

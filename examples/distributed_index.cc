@@ -4,12 +4,18 @@
 // message costs with a Chord DHT, which cannot answer the window queries at
 // all ("hashing destroys the ordering of data").
 //
+// Both systems are driven through the generic overlay::Overlay interface:
+// the application code is written once and pointed at two backends built by
+// overlay::Make; capabilities() tells it (rather than a crash) that the DHT
+// cannot scan ranges.
+//
 //   $ ./examples/distributed_index
 #include <cstdio>
 
-#include "baton/baton.h"
-#include "chord/chord_network.h"
-#include "workload/workload.h"
+#include "overlay/baton_overlay.h"
+#include "overlay/registry.h"
+#include "util/rng.h"
+#include "util/zipf.h"
 
 namespace {
 
@@ -23,25 +29,27 @@ constexpr baton::Key kDayEnd = 86400000;
 int main() {
   using namespace baton;
 
-  net::Network baton_net;
-  BatonConfig cfg;
-  cfg.domain_lo = kDayStart;
-  cfg.domain_hi = kDayEnd;
-  cfg.enable_load_balance = true;
-  cfg.overload_factor = 2.2;  // overloaded = 2.2x the fleet average
-  BatonNetwork index(cfg, &baton_net, /*seed=*/2026);
+  overlay::Config cfg;
+  cfg.seed = 2026;
+  cfg.baton.domain_lo = kDayStart;
+  cfg.baton.domain_hi = kDayEnd;
+  cfg.baton.enable_load_balance = true;
+  cfg.baton.overload_factor = 2.2;  // overloaded = 2.2x the fleet average
 
-  net::Network chord_net;
-  chord::ChordNetwork dht(&chord_net, /*seed=*/2026);
+  auto index = overlay::Make("baton", cfg);
+  auto dht = overlay::Make("chord", cfg);
 
-  // 200 storage peers join each system.
+  // 200 storage peers join each system -- same driver code for both.
   Rng rng(11);
-  std::vector<PeerId> peers{index.Bootstrap()};
-  std::vector<PeerId> dht_peers{dht.Bootstrap()};
+  std::vector<overlay::PeerId> peers{index->Bootstrap()};
+  std::vector<overlay::PeerId> dht_peers{dht->Bootstrap()};
   for (int i = 1; i < 200; ++i) {
-    peers.push_back(index.Join(peers[rng.NextBelow(peers.size())]).value());
-    dht_peers.push_back(
-        dht.Join(dht_peers[rng.NextBelow(dht_peers.size())]).value());
+    auto b = index->Join(peers[rng.NextBelow(peers.size())]);
+    BATON_CHECK(b.ok()) << b.status.ToString();
+    peers.push_back(b.peer);
+    auto c = dht->Join(dht_peers[rng.NextBelow(dht_peers.size())]);
+    BATON_CHECK(c.ok()) << c.status.ToString();
+    dht_peers.push_back(c.peer);
   }
 
   // Ingest 40k order timestamps: business hours are hot (skewed load), which
@@ -54,66 +62,65 @@ int main() {
   };
   for (int i = 0; i < 40000; ++i) {
     Key ts = next_ts();
-    PeerId from = peers[data_rng.NextBelow(peers.size())];
-    Status s = index.Insert(from, ts);
-    if (!s.ok()) std::printf("insert failed: %s\n", s.ToString().c_str());
-    dht.Insert(dht_peers[data_rng.NextBelow(dht_peers.size())], ts)
-        .ToString();
+    auto st = index->Insert(peers[data_rng.NextBelow(peers.size())], ts);
+    if (!st.ok()) std::printf("insert failed: %s\n", st.status.ToString().c_str());
+    dht->Insert(dht_peers[data_rng.NextBelow(dht_peers.size())], ts);
   }
-  index.CheckInvariants();
+  index->CheckInvariants();
   std::printf("ingested %llu orders across %zu peers (LB ops: %llu)\n",
-              static_cast<unsigned long long>(index.total_keys()),
-              index.size(),
-              static_cast<unsigned long long>(index.load_balance_ops()));
+              static_cast<unsigned long long>(index->total_keys()),
+              index->size(),
+              static_cast<unsigned long long>(
+                  overlay::BatonBackend(*index).load_balance_ops()));
 
-  // Point lookups: both systems answer in O(log N).
-  auto b0 = baton_net.Snapshot();
-  auto c0 = chord_net.Snapshot();
+  // Point lookups: both systems answer in O(log N), and OpStats carries the
+  // per-query message cost directly.
+  uint64_t baton_msgs = 0, chord_msgs = 0;
   int found = 0;
   for (int q = 0; q < 500; ++q) {
     Key ts = next_ts();
-    if (index.ExactSearch(peers[data_rng.NextBelow(peers.size())], ts)
-            .value()
-            .found) {
-      ++found;
-    }
-    dht.Lookup(dht_peers[data_rng.NextBelow(dht_peers.size())], ts).value();
+    auto b = index->ExactSearch(peers[data_rng.NextBelow(peers.size())], ts);
+    if (b.found) ++found;
+    baton_msgs += b.messages;
+    chord_msgs +=
+        dht->ExactSearch(dht_peers[data_rng.NextBelow(dht_peers.size())], ts)
+            .messages;
   }
-  double baton_pt =
-      static_cast<double>(net::Network::Delta(b0, baton_net.Snapshot())) / 500;
-  double chord_pt =
-      static_cast<double>(net::Network::Delta(c0, chord_net.Snapshot())) / 500;
   std::printf("point lookups: %.2f msgs (BATON) vs %.2f msgs (Chord DHT), "
               "%d hits\n",
-              baton_pt, chord_pt, found);
+              static_cast<double>(baton_msgs) / 500,
+              static_cast<double>(chord_msgs) / 500, found);
 
-  // Time-window scans: only the tree can do this without flooding.
-  b0 = baton_net.Snapshot();
-  uint64_t rows = 0;
+  // Time-window scans: only the order-preserving tree can do this without
+  // flooding -- the DHT declares it via capabilities().
+  uint64_t rows = 0, scan_msgs = 0;
   for (int q = 0; q < 100; ++q) {
     Key lo = (9 * 60 + data_rng.UniformInt(0, 200)) * 60000;
     Key hi = lo + 30 * 60000;  // a 30-minute window
-    rows += index.RangeSearch(peers[data_rng.NextBelow(peers.size())], lo, hi)
-                .value()
-                .matches;
+    auto st =
+        index->RangeSearch(peers[data_rng.NextBelow(peers.size())], lo, hi);
+    rows += st.matches;
+    scan_msgs += st.messages;
   }
-  double baton_rq =
-      static_cast<double>(net::Network::Delta(b0, baton_net.Snapshot())) / 100;
   std::printf("30-minute window scans: %.2f msgs avg, %llu rows returned; "
-              "Chord: unsupported\n",
-              baton_rq, static_cast<unsigned long long>(rows));
+              "%s: %s\n",
+              static_cast<double>(scan_msgs) / 100,
+              static_cast<unsigned long long>(rows), dht->name().c_str(),
+              dht->Supports(overlay::kRangeSearch) ? "supported"
+                                                   : "unsupported");
 
   // Show the fairness property: the busiest peer holds only a small multiple
   // of the average load despite the rush-hour skew.
+  const BatonNetwork& tree = overlay::BatonBackend(*index);
   size_t max_load = 0;
-  for (PeerId p : index.Members()) {
-    max_load = std::max(max_load, index.node(p).data.size());
+  for (overlay::PeerId p : index->Members()) {
+    max_load = std::max(max_load, tree.node(p).data.size());
   }
   std::printf("load: avg %.1f keys/peer, max %zu keys (%.1fx average)\n",
-              static_cast<double>(index.total_keys()) /
-                  static_cast<double>(index.size()),
+              static_cast<double>(index->total_keys()) /
+                  static_cast<double>(index->size()),
               max_load,
-              static_cast<double>(max_load) * static_cast<double>(index.size()) /
-                  static_cast<double>(index.total_keys()));
+              static_cast<double>(max_load) * static_cast<double>(index->size()) /
+                  static_cast<double>(index->total_keys()));
   return 0;
 }

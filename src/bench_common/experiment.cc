@@ -30,6 +30,47 @@ std::vector<size_t> ParseSizes(const char* arg) {
   return out;
 }
 
+std::vector<std::string> SplitNames(const char* arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur += *p;
+    }
+  }
+  return out;
+}
+
+std::string JoinedRegisteredNames() {
+  std::string joined;
+  for (const std::string& name : overlay::RegisteredNames()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s [flags]\n"
+      "  --paper_scale         paper setup: N=1000..10000, 1000 keys/node, "
+      "10 seeds\n"
+      "  --csv                 machine-readable CSV tables\n"
+      "  --sizes=a,b,c         network sizes to sweep\n"
+      "  --seeds=N             seeds (independent runs) per point\n"
+      "  --keys=N              keys per node\n"
+      "  --queries=N           queries/operations per point\n"
+      "  --seed=S              base RNG seed\n"
+      "  --overlay=name[,...]  backends to run (registered: %s)\n"
+      "  --help                print this message and exit\n",
+      argv0, JoinedRegisteredNames().c_str());
+}
+
 }  // namespace
 
 Options ParseOptions(int argc, char** argv) {
@@ -42,6 +83,9 @@ Options ParseOptions(int argc, char** argv) {
       opt.sizes = {1000, 2000, 4000, 6000, 8000, 10000};
     } else if (std::strcmp(a, "--csv") == 0) {
       opt.csv = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      PrintUsage(stdout, argv[0]);
+      std::exit(0);
     } else if (std::strncmp(a, "--seeds=", 8) == 0) {
       opt.seeds = std::atoi(a + 8);
     } else if (std::strncmp(a, "--keys=", 7) == 0) {
@@ -52,15 +96,31 @@ Options ParseOptions(int argc, char** argv) {
       opt.sizes = ParseSizes(a + 8);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       opt.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--overlay=", 10) == 0) {
+      opt.overlays = SplitNames(a + 10);
+      if (opt.overlays.empty()) {
+        std::fprintf(stderr, "--overlay needs at least one backend name\n");
+        std::exit(2);
+      }
+      for (const std::string& name : opt.overlays) {
+        if (!overlay::IsRegistered(name)) {
+          std::fprintf(stderr,
+                       "unknown overlay backend '%s' (registered: %s)\n",
+                       name.c_str(), JoinedRegisteredNames().c_str());
+          std::exit(2);
+        }
+      }
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s\nflags: --paper_scale --csv --seeds=N "
-                   "--keys=N --queries=N --sizes=a,b,c --seed=S\n",
-                   a);
+      std::fprintf(stderr, "unknown flag %s\n", a);
+      PrintUsage(stderr, argv[0]);
       std::exit(2);
     }
   }
   return opt;
+}
+
+std::vector<std::string> SelectedOverlays(const Options& opt) {
+  return opt.overlays.empty() ? overlay::RegisteredNames() : opt.overlays;
 }
 
 BatonConfig BalancedConfig() {
@@ -76,107 +136,51 @@ BatonConfig ReplicatedConfig(int r) {
   return cfg;
 }
 
-BatonInstance BuildBaton(size_t n, uint64_t seed, BatonConfig cfg,
-                         size_t keys_per_node,
-                         workload::KeyGenerator* preload) {
+overlay::Config BalancedOverlayConfig() {
+  overlay::Config cfg;
+  cfg.baton = BalancedConfig();
+  return cfg;
+}
+
+Instance BuildOverlay(const std::string& name, size_t n, uint64_t seed,
+                      const overlay::Config& cfg, size_t keys_per_node,
+                      workload::KeyGenerator* preload) {
   // "For a network of size N, 1000 x N data values ... are inserted in
-  // batches": joins and insert batches interleave, so load balancing (when
-  // enabled in cfg) keeps per-node loads -- and therefore ranges -- matched
-  // to the data distribution as the overlay grows.
-  BatonInstance bi;
-  bi.net = std::make_unique<net::Network>();
-  bi.overlay = std::make_unique<BatonNetwork>(cfg, bi.net.get(), seed);
-  Rng rng(Mix64(seed ^ 0xba70));
-  bi.members.push_back(bi.overlay->Bootstrap());
+  // batches": joins and insert batches interleave, so order-preserving
+  // backends keep per-node loads -- and therefore ranges -- matched to the
+  // data distribution as the overlay grows.
+  Instance inst;
+  overlay::Config seeded = cfg;
+  seeded.seed = seed;
+  inst.overlay = overlay::Make(name, seeded);
+  BATON_CHECK(inst.overlay != nullptr) << "unknown overlay backend " << name;
+  Rng rng(Mix64(seed ^ inst.overlay->build_salt()));
+  inst.members.push_back(inst.overlay->Bootstrap());
   auto insert_batch = [&](size_t count) {
     for (size_t i = 0; i < count; ++i) {
-      net::PeerId from = bi.members[rng.NextBelow(bi.members.size())];
-      Status s = bi.overlay->Insert(from, preload->Next(&rng));
-      BATON_CHECK(s.ok()) << s.ToString();
+      net::PeerId from = inst.members[rng.NextBelow(inst.members.size())];
+      auto st = inst.overlay->Insert(from, preload->Next(&rng));
+      BATON_CHECK(st.ok()) << st.status.ToString();
     }
   };
   if (preload != nullptr) insert_batch(keys_per_node);
   for (size_t i = 1; i < n; ++i) {
-    net::PeerId contact = bi.members[rng.NextBelow(bi.members.size())];
-    auto joined = bi.overlay->Join(contact);
-    BATON_CHECK(joined.ok()) << joined.status().ToString();
-    bi.members.push_back(joined.value());
+    net::PeerId contact = inst.members[rng.NextBelow(inst.members.size())];
+    auto joined = inst.overlay->Join(contact);
+    BATON_CHECK(joined.ok()) << joined.status.ToString();
+    inst.members.push_back(joined.peer);
     if (preload != nullptr) insert_batch(keys_per_node);
   }
-  return bi;
+  return inst;
 }
 
-void LoadBaton(BatonInstance* bi, size_t keys_per_node,
-               workload::KeyGenerator* gen, Rng* rng) {
-  size_t total = keys_per_node * bi->overlay->size();
+void LoadOverlay(Instance* inst, size_t keys_per_node,
+                 workload::KeyGenerator* gen, Rng* rng) {
+  size_t total = keys_per_node * inst->overlay->size();
   for (size_t i = 0; i < total; ++i) {
-    net::PeerId from = bi->members[rng->NextBelow(bi->members.size())];
-    Status s = bi->overlay->Insert(from, gen->Next(rng));
-    BATON_CHECK(s.ok()) << s.ToString();
-  }
-}
-
-ChordInstance BuildChord(size_t n, uint64_t seed) {
-  ChordInstance ci;
-  ci.net = std::make_unique<net::Network>();
-  ci.ring = std::make_unique<chord::ChordNetwork>(ci.net.get(), seed);
-  Rng rng(Mix64(seed ^ 0xc08d));
-  ci.members.push_back(ci.ring->Bootstrap());
-  for (size_t i = 1; i < n; ++i) {
-    net::PeerId contact = ci.members[rng.NextBelow(ci.members.size())];
-    auto joined = ci.ring->Join(contact);
-    BATON_CHECK(joined.ok()) << joined.status().ToString();
-    ci.members.push_back(joined.value());
-  }
-  return ci;
-}
-
-void LoadChord(ChordInstance* ci, size_t keys_per_node,
-               workload::KeyGenerator* gen, Rng* rng) {
-  size_t total = keys_per_node * ci->ring->size();
-  for (size_t i = 0; i < total; ++i) {
-    net::PeerId from = ci->members[rng->NextBelow(ci->members.size())];
-    Status s = ci->ring->Insert(from, gen->Next(rng));
-    BATON_CHECK(s.ok()) << s.ToString();
-  }
-}
-
-MultiwayInstance BuildMultiway(size_t n, uint64_t seed, int fanout,
-                               size_t keys_per_node,
-                               workload::KeyGenerator* preload) {
-  MultiwayInstance mi;
-  mi.net = std::make_unique<net::Network>();
-  multiway::MultiwayConfig cfg;
-  cfg.max_fanout = fanout;
-  mi.tree = std::make_unique<multiway::MultiwayNetwork>(cfg, mi.net.get(),
-                                                        seed);
-  Rng rng(Mix64(seed ^ 0x3712));
-  mi.members.push_back(mi.tree->Bootstrap());
-  auto insert_batch = [&](size_t count) {
-    for (size_t i = 0; i < count; ++i) {
-      net::PeerId from = mi.members[rng.NextBelow(mi.members.size())];
-      Status s = mi.tree->Insert(from, preload->Next(&rng));
-      BATON_CHECK(s.ok()) << s.ToString();
-    }
-  };
-  if (preload != nullptr) insert_batch(keys_per_node);
-  for (size_t i = 1; i < n; ++i) {
-    net::PeerId contact = mi.members[rng.NextBelow(mi.members.size())];
-    auto joined = mi.tree->Join(contact);
-    BATON_CHECK(joined.ok()) << joined.status().ToString();
-    mi.members.push_back(joined.value());
-    if (preload != nullptr) insert_batch(keys_per_node);
-  }
-  return mi;
-}
-
-void LoadMultiway(MultiwayInstance* mi, size_t keys_per_node,
-                  workload::KeyGenerator* gen, Rng* rng) {
-  size_t total = keys_per_node * mi->tree->size();
-  for (size_t i = 0; i < total; ++i) {
-    net::PeerId from = mi->members[rng->NextBelow(mi->members.size())];
-    Status s = mi->tree->Insert(from, gen->Next(rng));
-    BATON_CHECK(s.ok()) << s.ToString();
+    net::PeerId from = inst->members[rng->NextBelow(inst->members.size())];
+    auto st = inst->overlay->Insert(from, gen->Next(rng));
+    BATON_CHECK(st.ok()) << st.status.ToString();
   }
 }
 

@@ -1,10 +1,12 @@
-// Shared harness for the figure benches: network builders, data loaders,
-// option parsing and table output. Each bench binary reproduces one panel of
-// the paper's Figure 8 and prints the series the paper plots.
+// Shared harness for the figure benches: one overlay-generic Instance
+// builder/loader (any registered backend, via overlay::Make), option
+// parsing and table output. Each bench binary reproduces one panel of the
+// paper's Figure 8 and prints the series the paper plots.
 //
 // Default scale (N up to 8000, 100 keys/node, 2 seeds) keeps every binary
 // fast; pass --paper_scale for the paper's setup (N = 1000..10000, 1000
-// keys/node, 10 seeds).
+// keys/node, 10 seeds). --overlay=name[,name...] restricts multi-backend
+// benches to a subset of the registered backends.
 #ifndef BATON_BENCH_COMMON_EXPERIMENT_H_
 #define BATON_BENCH_COMMON_EXPERIMENT_H_
 
@@ -14,8 +16,8 @@
 #include <vector>
 
 #include "baton/baton.h"
-#include "chord/chord_network.h"
-#include "multiway/multiway_network.h"
+#include "overlay/registry.h"
+#include "util/stats.h"
 #include "util/table_printer.h"
 #include "workload/workload.h"
 
@@ -29,11 +31,18 @@ struct Options {
   int seeds = 2;
   uint64_t base_seed = 20260608;
   bool csv = false;
+  /// Backends selected with --overlay=...; empty means "all registered".
+  std::vector<std::string> overlays;
 };
 
 /// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
-/// --sizes=a,b,c. Unknown flags abort with usage.
+/// --sizes=a,b,c, --seed=S, --overlay=name[,name...], --help (prints usage,
+/// exits 0). Unknown flags print the usage and exit 2.
 Options ParseOptions(int argc, char** argv);
+
+/// The backends a multi-backend bench should run: opt.overlays when given,
+/// otherwise every registered backend.
+std::vector<std::string> SelectedOverlays(const Options& opt);
 
 /// Standard experiment configuration: load balancing on with an adaptive
 /// threshold (overloaded = 2.2x the current network-average load, so
@@ -46,44 +55,60 @@ BatonConfig BalancedConfig();
 /// mirrored on r holders, restored on failure. The durability bench sweeps r.
 BatonConfig ReplicatedConfig(int r);
 
-struct BatonInstance {
-  std::unique_ptr<net::Network> net;
-  std::unique_ptr<BatonNetwork> overlay;
+/// overlay::Config carrying BalancedConfig for the BATON backend (other
+/// backends use their defaults) -- the standard setup of the Fig. 8 benches.
+overlay::Config BalancedOverlayConfig();
+
+/// A built overlay of any backend plus the member list benches sample
+/// operation origins from (join order; erased on departure).
+struct Instance {
+  std::unique_ptr<overlay::Overlay> overlay;
   std::vector<net::PeerId> members;
+
+  net::Network* net() { return overlay->network(); }
 };
-/// Builds an overlay of n nodes joined via random contacts. When `preload`
-/// is non-null, keys_per_node * n keys are loaded before growth (the paper
-/// inserts its data "in batches" as the network forms): every join then
-/// splits ranges at the content median, so node ranges stay proportional to
+
+/// Builds an overlay of n `name`-backend nodes joined via random contacts.
+/// When `preload` is non-null, keys_per_node * n keys are loaded before
+/// growth (the paper inserts its data "in batches" as the network forms):
+/// order-preserving backends (Capability::kOrderedGrowth) then split ranges
+/// at the content median on every join, so node ranges stay proportional to
 /// the data distribution -- the property the load figures depend on.
-BatonInstance BuildBaton(size_t n, uint64_t seed, BatonConfig cfg = {},
-                         size_t keys_per_node = 0,
-                         workload::KeyGenerator* preload = nullptr);
-/// Inserts keys_per_node * n additional keys from random origins.
-void LoadBaton(BatonInstance* bi, size_t keys_per_node,
-               workload::KeyGenerator* gen, Rng* rng);
+Instance BuildOverlay(const std::string& name, size_t n, uint64_t seed,
+                      const overlay::Config& cfg = {},
+                      size_t keys_per_node = 0,
+                      workload::KeyGenerator* preload = nullptr);
 
-struct ChordInstance {
-  std::unique_ptr<net::Network> net;
-  std::unique_ptr<chord::ChordNetwork> ring;
-  std::vector<net::PeerId> members;
-};
-ChordInstance BuildChord(size_t n, uint64_t seed);
-void LoadChord(ChordInstance* ci, size_t keys_per_node,
-               workload::KeyGenerator* gen, Rng* rng);
+/// Inserts keys_per_node * size() additional keys from random origins.
+void LoadOverlay(Instance* inst, size_t keys_per_node,
+                 workload::KeyGenerator* gen, Rng* rng);
 
-struct MultiwayInstance {
-  std::unique_ptr<net::Network> net;
-  std::unique_ptr<multiway::MultiwayNetwork> tree;
-  std::vector<net::PeerId> members;
-};
-/// Same preload-then-grow scheme as BuildBaton (the multiway tree also
-/// splits at the content median).
-MultiwayInstance BuildMultiway(size_t n, uint64_t seed, int fanout = 4,
-                               size_t keys_per_node = 0,
-                               workload::KeyGenerator* preload = nullptr);
-void LoadMultiway(MultiwayInstance* mi, size_t keys_per_node,
-                  workload::KeyGenerator* gen, Rng* rng);
+/// Joins a random contact then removes a random member, `ops` times, on any
+/// backend; each phase's message cost -- `join_cost(before, after)` /
+/// `leave_cost(before, after)` over the counter snapshots bracketing it --
+/// is accumulated into the corresponding stat. The churn loop of the
+/// join/leave figure benches (Fig 8(a), 8(b)).
+template <typename JoinCost, typename LeaveCost>
+void JoinLeaveChurn(Instance* inst, Rng* rng, int ops, JoinCost&& join_cost,
+                    LeaveCost&& leave_cost, RunningStat* join_stat,
+                    RunningStat* leave_stat) {
+  for (int i = 0; i < ops; ++i) {
+    auto before = inst->net()->Snapshot();
+    auto joined = inst->overlay->Join(
+        inst->members[rng->NextBelow(inst->members.size())]);
+    BATON_CHECK(joined.ok()) << joined.status.ToString();
+    inst->members.push_back(joined.peer);
+    auto mid = inst->net()->Snapshot();
+    join_stat->Add(static_cast<double>(join_cost(before, mid)));
+
+    size_t idx = rng->NextBelow(inst->members.size());
+    auto left = inst->overlay->Leave(inst->members[idx]);
+    BATON_CHECK(left.ok()) << left.status.ToString();
+    inst->members.erase(inst->members.begin() + static_cast<long>(idx));
+    auto after = inst->net()->Snapshot();
+    leave_stat->Add(static_cast<double>(leave_cost(mid, after)));
+  }
+}
 
 /// Sum of per-type deltas between two counter snapshots.
 uint64_t SumTypes(const net::CounterSnapshot& before,

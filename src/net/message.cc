@@ -96,17 +96,23 @@ MsgCategory CategoryOf(MsgType t) {
     case MsgType::kReplicaRestore:
     case MsgType::kReplicaRestoreReply:
       return MsgCategory::kReplication;
+    // Baseline backends map into the same buckets as BATON so category
+    // aggregates (e.g. MaintenanceDelta) are comparable across overlays.
     case MsgType::kChordLookup:
+      return MsgCategory::kQuery;  // find_successor serves queries & joins
     case MsgType::kChordJoinInit:
     case MsgType::kChordUpdateOthers:
     case MsgType::kChordNotify:
     case MsgType::kChordKeyMove:
-    case MsgType::kMultiwayJoinForward:
-    case MsgType::kMultiwayChildPoll:
     case MsgType::kMultiwayLinkUpdate:
-    case MsgType::kMultiwaySearch:
+      return MsgCategory::kMaintenance;
+    case MsgType::kMultiwayJoinForward:
     case MsgType::kMultiwayProbe:
-      return MsgCategory::kBaseline;
+      return MsgCategory::kJoinSearch;
+    case MsgType::kMultiwayChildPoll:
+      return MsgCategory::kLeaveSearch;
+    case MsgType::kMultiwaySearch:
+      return MsgCategory::kQuery;
     case MsgType::kNumTypes:
       break;
   }

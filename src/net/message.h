@@ -78,7 +78,9 @@ inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kNumTypes);
 /// Human-readable tag, for diagnostics and bench output.
 const char* MsgTypeName(MsgType t);
 
-/// Coarse categories used by the figure benches.
+/// Coarse categories used by the figure benches and the overlay-generic
+/// comparison harness. Backend-neutral: every backend's types map into the
+/// same buckets so category aggregates are comparable across overlays.
 enum class MsgCategory : uint8_t {
   kJoinSearch,     // Fig 8(a), join series
   kLeaveSearch,    // Fig 8(a), leave series
@@ -88,7 +90,6 @@ enum class MsgCategory : uint8_t {
   kData,           // Fig 8(c)
   kLoadBalance,    // Fig 8(g,h)
   kReplication,    // replica push/sync/restore traffic (durability benches)
-  kBaseline,       // Chord / multiway internal
   kOther,
 };
 

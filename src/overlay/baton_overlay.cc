@@ -1,0 +1,90 @@
+#include "overlay/baton_overlay.h"
+
+#include "util/check.h"
+
+namespace baton {
+namespace overlay {
+
+BatonOverlay::BatonOverlay(const BatonConfig& cfg, uint64_t seed)
+    : baton_(std::make_unique<BatonNetwork>(cfg, &net_, seed)) {}
+
+const std::string& BatonOverlay::name() const {
+  static const std::string kName = "baton";
+  return kName;
+}
+
+uint32_t BatonOverlay::capabilities() const {
+  uint32_t caps =
+      kRangeSearch | kFailRecovery | kLoadBalance | kOrderedGrowth;
+  if (baton_->config().replication.factor > 0) caps |= kReplication;
+  return caps;
+}
+
+PeerId BatonOverlay::DoBootstrap() { return baton_->Bootstrap(); }
+
+void BatonOverlay::DoJoin(PeerId contact, OpStats* st) {
+  Result<PeerId> r = baton_->Join(contact);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value();
+}
+
+void BatonOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  st->status = baton_->Leave(leaver);
+}
+
+void BatonOverlay::DoFail(PeerId victim, OpStats* st) {
+  (void)st;
+  baton_->Fail(victim);
+}
+
+void BatonOverlay::DoRecoverAllFailures(OpStats* st) {
+  st->status = baton_->RecoverAllFailures();
+}
+
+void BatonOverlay::DoInsert(PeerId from, Key key, OpStats* st) {
+  st->status = baton_->Insert(from, key);
+}
+
+void BatonOverlay::DoDelete(PeerId from, Key key, OpStats* st) {
+  st->status = baton_->Delete(from, key);
+}
+
+void BatonOverlay::DoExactSearch(PeerId from, Key key, OpStats* st) {
+  auto r = baton_->ExactSearch(from, key);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value().node;
+  st->found = r.value().found;
+  st->hops = r.value().hops;
+}
+
+void BatonOverlay::DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st) {
+  auto r = baton_->RangeSearch(from, lo, hi);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->nodes = r.value().nodes.size();
+  st->matches = r.value().matches;
+  st->hops = r.value().hops;
+  st->found = r.value().matches > 0;
+}
+
+BatonNetwork& BatonBackend(Overlay& ov) {
+  auto* adapter = dynamic_cast<BatonOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the baton backend";
+  return adapter->baton();
+}
+
+const BatonNetwork& BatonBackend(const Overlay& ov) {
+  return BatonBackend(const_cast<Overlay&>(ov));
+}
+
+}  // namespace overlay
+}  // namespace baton

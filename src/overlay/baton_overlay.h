@@ -1,0 +1,57 @@
+// overlay::Overlay adapter over BatonNetwork. Registered as "baton".
+#ifndef BATON_OVERLAY_BATON_OVERLAY_H_
+#define BATON_OVERLAY_BATON_OVERLAY_H_
+
+#include <memory>
+
+#include "baton/baton_network.h"
+#include "overlay/overlay.h"
+
+namespace baton {
+namespace overlay {
+
+class BatonOverlay : public Overlay {
+ public:
+  BatonOverlay(const BatonConfig& cfg, uint64_t seed);
+
+  const std::string& name() const override;
+  uint32_t capabilities() const override;
+  net::Network* network() override { return &net_; }
+
+  size_t size() const override { return baton_->size(); }
+  std::vector<PeerId> Members() const override { return baton_->Members(); }
+  uint64_t total_keys() const override { return baton_->total_keys(); }
+  void CheckInvariants() const override { baton_->CheckInvariants(); }
+  uint64_t build_salt() const override { return 0xba70; }
+
+  /// The wrapped backend, for BATON-specific introspection (tree positions,
+  /// shift-size histogram, load-balance and durability counters).
+  BatonNetwork& baton() { return *baton_; }
+  const BatonNetwork& baton() const { return *baton_; }
+
+ protected:
+  PeerId DoBootstrap() override;
+  void DoJoin(PeerId contact, OpStats* st) override;
+  void DoLeave(PeerId leaver, OpStats* st) override;
+  void DoFail(PeerId victim, OpStats* st) override;
+  void DoRecoverAllFailures(OpStats* st) override;
+  void DoInsert(PeerId from, Key key, OpStats* st) override;
+  void DoDelete(PeerId from, Key key, OpStats* st) override;
+  void DoExactSearch(PeerId from, Key key, OpStats* st) override;
+  void DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st) override;
+
+ private:
+  net::Network net_;
+  std::unique_ptr<BatonNetwork> baton_;
+};
+
+/// Checked downcast to the BATON backend for benches/tests that read
+/// BATON-specific state through the generic interface. CHECK-fails when
+/// `ov` is some other backend.
+BatonNetwork& BatonBackend(Overlay& ov);
+const BatonNetwork& BatonBackend(const Overlay& ov);
+
+}  // namespace overlay
+}  // namespace baton
+
+#endif  // BATON_OVERLAY_BATON_OVERLAY_H_

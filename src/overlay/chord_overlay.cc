@@ -1,0 +1,62 @@
+#include "overlay/chord_overlay.h"
+
+#include "util/check.h"
+
+namespace baton {
+namespace overlay {
+
+ChordOverlay::ChordOverlay(uint64_t seed)
+    : ring_(std::make_unique<chord::ChordNetwork>(&net_, seed)) {}
+
+const std::string& ChordOverlay::name() const {
+  static const std::string kName = "chord";
+  return kName;
+}
+
+PeerId ChordOverlay::DoBootstrap() { return ring_->Bootstrap(); }
+
+void ChordOverlay::DoJoin(PeerId contact, OpStats* st) {
+  Result<PeerId> r = ring_->Join(contact);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value();
+}
+
+void ChordOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  st->status = ring_->Leave(leaver);
+}
+
+void ChordOverlay::DoInsert(PeerId from, Key key, OpStats* st) {
+  st->status = ring_->Insert(from, key);
+}
+
+void ChordOverlay::DoDelete(PeerId from, Key key, OpStats* st) {
+  st->status = ring_->Delete(from, key);
+}
+
+void ChordOverlay::DoExactSearch(PeerId from, Key key, OpStats* st) {
+  auto r = ring_->Lookup(from, key);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value().node;
+  st->found = r.value().found;
+  st->hops = r.value().hops;
+}
+
+chord::ChordNetwork& ChordBackend(Overlay& ov) {
+  auto* adapter = dynamic_cast<ChordOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the chord backend";
+  return adapter->chord();
+}
+
+const chord::ChordNetwork& ChordBackend(const Overlay& ov) {
+  return ChordBackend(const_cast<Overlay&>(ov));
+}
+
+}  // namespace overlay
+}  // namespace baton

@@ -1,0 +1,54 @@
+// overlay::Overlay adapter over the Chord baseline. Registered as "chord".
+//
+// Chord supports only the universal core: no range queries (hashing
+// destroys key order), no failure-recovery protocol in this baseline, no
+// load balancing (hashing spreads keys by construction).
+#ifndef BATON_OVERLAY_CHORD_OVERLAY_H_
+#define BATON_OVERLAY_CHORD_OVERLAY_H_
+
+#include <memory>
+
+#include "chord/chord_network.h"
+#include "overlay/overlay.h"
+
+namespace baton {
+namespace overlay {
+
+class ChordOverlay : public Overlay {
+ public:
+  explicit ChordOverlay(uint64_t seed);
+
+  const std::string& name() const override;
+  uint32_t capabilities() const override { return 0; }
+  net::Network* network() override { return &net_; }
+
+  size_t size() const override { return ring_->size(); }
+  std::vector<PeerId> Members() const override { return ring_->members(); }
+  uint64_t total_keys() const override { return ring_->total_keys(); }
+  void CheckInvariants() const override { ring_->CheckInvariants(); }
+  uint64_t build_salt() const override { return 0xc08d; }
+
+  chord::ChordNetwork& chord() { return *ring_; }
+  const chord::ChordNetwork& chord() const { return *ring_; }
+
+ protected:
+  PeerId DoBootstrap() override;
+  void DoJoin(PeerId contact, OpStats* st) override;
+  void DoLeave(PeerId leaver, OpStats* st) override;
+  void DoInsert(PeerId from, Key key, OpStats* st) override;
+  void DoDelete(PeerId from, Key key, OpStats* st) override;
+  void DoExactSearch(PeerId from, Key key, OpStats* st) override;
+
+ private:
+  net::Network net_;
+  std::unique_ptr<chord::ChordNetwork> ring_;
+};
+
+/// Checked downcast; CHECK-fails when `ov` is not the chord backend.
+chord::ChordNetwork& ChordBackend(Overlay& ov);
+const chord::ChordNetwork& ChordBackend(const Overlay& ov);
+
+}  // namespace overlay
+}  // namespace baton
+
+#endif  // BATON_OVERLAY_CHORD_OVERLAY_H_

@@ -1,0 +1,76 @@
+#include "overlay/multiway_overlay.h"
+
+#include "util/check.h"
+
+namespace baton {
+namespace overlay {
+
+MultiwayOverlay::MultiwayOverlay(const multiway::MultiwayConfig& cfg,
+                                 uint64_t seed)
+    : tree_(std::make_unique<multiway::MultiwayNetwork>(cfg, &net_, seed)) {}
+
+const std::string& MultiwayOverlay::name() const {
+  static const std::string kName = "multiway";
+  return kName;
+}
+
+PeerId MultiwayOverlay::DoBootstrap() { return tree_->Bootstrap(); }
+
+void MultiwayOverlay::DoJoin(PeerId contact, OpStats* st) {
+  Result<PeerId> r = tree_->Join(contact);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value();
+}
+
+void MultiwayOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  st->status = tree_->Leave(leaver);
+}
+
+void MultiwayOverlay::DoInsert(PeerId from, Key key, OpStats* st) {
+  st->status = tree_->Insert(from, key);
+}
+
+void MultiwayOverlay::DoDelete(PeerId from, Key key, OpStats* st) {
+  st->status = tree_->Delete(from, key);
+}
+
+void MultiwayOverlay::DoExactSearch(PeerId from, Key key, OpStats* st) {
+  auto r = tree_->ExactSearch(from, key);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value().node;
+  st->found = r.value().found;
+  st->hops = r.value().hops;
+}
+
+void MultiwayOverlay::DoRangeSearch(PeerId from, Key lo, Key hi,
+                                    OpStats* st) {
+  auto r = tree_->RangeSearch(from, lo, hi);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->nodes = r.value().nodes.size();
+  st->matches = r.value().matches;
+  st->hops = r.value().hops;
+  st->found = r.value().matches > 0;
+}
+
+multiway::MultiwayNetwork& MultiwayBackend(Overlay& ov) {
+  auto* adapter = dynamic_cast<MultiwayOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the multiway backend";
+  return adapter->multiway();
+}
+
+const multiway::MultiwayNetwork& MultiwayBackend(const Overlay& ov) {
+  return MultiwayBackend(const_cast<Overlay&>(ov));
+}
+
+}  // namespace overlay
+}  // namespace baton

@@ -1,0 +1,56 @@
+// overlay::Overlay adapter over the multiway-tree baseline. Registered as
+// "multiway". Order-preserving (range queries work, preload-during-growth
+// splits at the content median) but has no failure-recovery protocol and no
+// load balancing -- the brittleness section III-D contrasts BATON against.
+#ifndef BATON_OVERLAY_MULTIWAY_OVERLAY_H_
+#define BATON_OVERLAY_MULTIWAY_OVERLAY_H_
+
+#include <memory>
+
+#include "multiway/multiway_network.h"
+#include "overlay/overlay.h"
+
+namespace baton {
+namespace overlay {
+
+class MultiwayOverlay : public Overlay {
+ public:
+  MultiwayOverlay(const multiway::MultiwayConfig& cfg, uint64_t seed);
+
+  const std::string& name() const override;
+  uint32_t capabilities() const override {
+    return kRangeSearch | kOrderedGrowth;
+  }
+  net::Network* network() override { return &net_; }
+
+  size_t size() const override { return tree_->size(); }
+  std::vector<PeerId> Members() const override { return tree_->Members(); }
+  uint64_t total_keys() const override { return tree_->total_keys(); }
+  void CheckInvariants() const override { tree_->CheckInvariants(); }
+  uint64_t build_salt() const override { return 0x3712; }
+
+  multiway::MultiwayNetwork& multiway() { return *tree_; }
+  const multiway::MultiwayNetwork& multiway() const { return *tree_; }
+
+ protected:
+  PeerId DoBootstrap() override;
+  void DoJoin(PeerId contact, OpStats* st) override;
+  void DoLeave(PeerId leaver, OpStats* st) override;
+  void DoInsert(PeerId from, Key key, OpStats* st) override;
+  void DoDelete(PeerId from, Key key, OpStats* st) override;
+  void DoExactSearch(PeerId from, Key key, OpStats* st) override;
+  void DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st) override;
+
+ private:
+  net::Network net_;
+  std::unique_ptr<multiway::MultiwayNetwork> tree_;
+};
+
+/// Checked downcast; CHECK-fails when `ov` is not the multiway backend.
+multiway::MultiwayNetwork& MultiwayBackend(Overlay& ov);
+const multiway::MultiwayNetwork& MultiwayBackend(const Overlay& ov);
+
+}  // namespace overlay
+}  // namespace baton
+
+#endif  // BATON_OVERLAY_MULTIWAY_OVERLAY_H_

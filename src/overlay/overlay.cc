@@ -1,0 +1,96 @@
+#include "overlay/overlay.h"
+
+namespace baton {
+namespace overlay {
+
+namespace {
+
+/// Runs `fn(&st)` with counter snapshots around it so st.messages is the
+/// exact message cost of the operation, whatever the backend did inside.
+template <typename Fn>
+OpStats Measured(net::Network* net, Fn&& fn) {
+  OpStats st;
+  net::CounterSnapshot before = net->Snapshot();
+  fn(&st);
+  st.messages = net::Network::Delta(before, net->Snapshot());
+  return st;
+}
+
+}  // namespace
+
+std::string CapabilitiesToString(uint32_t caps) {
+  static constexpr struct {
+    Capability bit;
+    const char* name;
+  } kNames[] = {
+      {kRangeSearch, "range"},   {kFailRecovery, "fail"},
+      {kLoadBalance, "balance"}, {kReplication, "replicate"},
+      {kOrderedGrowth, "ordered"},
+  };
+  std::string out;
+  for (const auto& [bit, name] : kNames) {
+    if ((caps & bit) == 0) continue;
+    if (!out.empty()) out += ",";
+    out += name;
+  }
+  return out.empty() ? "-" : out;
+}
+
+PeerId Overlay::Bootstrap() { return DoBootstrap(); }
+
+OpStats Overlay::Join(PeerId contact) {
+  return Measured(network(), [&](OpStats* st) { DoJoin(contact, st); });
+}
+
+OpStats Overlay::Leave(PeerId leaver) {
+  return Measured(network(), [&](OpStats* st) { DoLeave(leaver, st); });
+}
+
+OpStats Overlay::Fail(PeerId victim) {
+  return Measured(network(), [&](OpStats* st) { DoFail(victim, st); });
+}
+
+OpStats Overlay::RecoverAllFailures() {
+  return Measured(network(), [&](OpStats* st) { DoRecoverAllFailures(st); });
+}
+
+OpStats Overlay::Insert(PeerId from, Key key) {
+  return Measured(network(), [&](OpStats* st) { DoInsert(from, key, st); });
+}
+
+OpStats Overlay::Delete(PeerId from, Key key) {
+  return Measured(network(), [&](OpStats* st) { DoDelete(from, key, st); });
+}
+
+OpStats Overlay::ExactSearch(PeerId from, Key key) {
+  return Measured(network(),
+                  [&](OpStats* st) { DoExactSearch(from, key, st); });
+}
+
+OpStats Overlay::RangeSearch(PeerId from, Key lo, Key hi) {
+  return Measured(network(),
+                  [&](OpStats* st) { DoRangeSearch(from, lo, hi, st); });
+}
+
+void Overlay::DoFail(PeerId victim, OpStats* st) {
+  (void)victim;
+  st->status = Unsupported("Fail");
+}
+
+void Overlay::DoRecoverAllFailures(OpStats* st) {
+  st->status = Unsupported("RecoverAllFailures");
+}
+
+void Overlay::DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st) {
+  (void)from;
+  (void)lo;
+  (void)hi;
+  st->status = Unsupported("RangeSearch");
+}
+
+Status Overlay::Unsupported(const char* op) const {
+  return Status::FailedPrecondition(name() + " does not support " + op);
+}
+
+}  // namespace overlay
+}  // namespace baton

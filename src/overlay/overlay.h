@@ -1,0 +1,148 @@
+// overlay::Overlay: one interface over every P2P backend (BATON, Chord,
+// multiway tree, and whatever comes next).
+//
+// The paper's evaluation is a head-to-head comparison, so the repo needs a
+// single API that any bench, test, or workload replay can drive against any
+// backend. Each operation returns a uniform OpStats whose `messages` field
+// is the exact net::Network counter delta for that operation -- callers
+// never diff snapshots by hand. Backends differ in what they support
+// (Chord cannot answer range queries: "hashing destroys the ordering of
+// data"); capabilities() declares the differences and unsupported
+// operations fail with Status::FailedPrecondition instead of crashing.
+//
+// Backends register themselves by name in overlay/registry.h; construct one
+// with overlay::Make("baton", cfg) and drive it generically, e.g. through
+// workload::Replay.
+#ifndef BATON_OVERLAY_OVERLAY_H_
+#define BATON_OVERLAY_OVERLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baton/types.h"
+#include "net/network.h"
+#include "util/status.h"
+
+namespace baton {
+namespace overlay {
+
+using net::PeerId;
+using net::kNullPeer;
+
+/// Optional features a backend may support beyond the universal core
+/// (join/leave, insert/delete, exact search). Queried via capabilities();
+/// calling an unsupported operation returns Status::FailedPrecondition.
+enum Capability : uint32_t {
+  /// Order-preserving range queries (RangeSearch).
+  kRangeSearch = 1u << 0,
+  /// Abrupt failure + recovery protocol (Fail / RecoverAllFailures).
+  kFailRecovery = 1u << 1,
+  /// Content-driven load balancing.
+  kLoadBalance = 1u << 2,
+  /// Replica-based durability.
+  kReplication = 1u << 3,
+  /// Joins split ranges at the content median, so preloading data while the
+  /// overlay grows keeps node ranges matched to the data distribution
+  /// (hash-partitioned backends are insensitive to load order).
+  kOrderedGrowth = 1u << 4,
+};
+
+/// Human-readable "range,fail,..." summary of a capability bitmask.
+std::string CapabilitiesToString(uint32_t caps);
+
+/// Uniform per-operation outcome. Every field is filled by the backend
+/// except `messages`, which the Overlay base class computes as the raw
+/// net::Network counter delta across the operation.
+struct OpStats {
+  Status status = Status::OK();
+  /// Operation-specific peer: the accepted joiner (Join) or the node whose
+  /// range contains the key (ExactSearch).
+  PeerId peer = kNullPeer;
+  bool found = false;     // exact search: key is stored at `peer`
+  uint64_t matches = 0;   // range search: stored keys in [lo, hi)
+  uint64_t nodes = 0;     // range search: nodes intersecting the range
+  int hops = 0;           // routing hops reported by the backend
+  uint64_t messages = 0;  // total message delta for the whole operation
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Abstract overlay backend. Public operations are non-virtual wrappers
+/// that snapshot the network counters around the protected Do* hooks, so
+/// OpStats::messages is identical across backends by construction.
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  /// Registry name of the backend ("baton", "chord", "multiway", ...).
+  virtual const std::string& name() const = 0;
+  /// Bitmask of Capability values.
+  virtual uint32_t capabilities() const = 0;
+  bool Supports(Capability c) const { return (capabilities() & c) != 0; }
+
+  /// The simulated physical network the backend is wired to (owned by the
+  /// backend). Exposed for liveness queries, per-peer counters, deferred
+  /// updates and type-filtered message accounting.
+  virtual net::Network* network() = 0;
+  const net::Network* network() const {
+    return const_cast<Overlay*>(this)->network();
+  }
+
+  // ---- Membership ----------------------------------------------------------
+  /// Creates the first node. Must be called exactly once, before any Join.
+  PeerId Bootstrap();
+  /// New peer joins via `contact`; OpStats::peer is the joiner's id.
+  OpStats Join(PeerId contact);
+  /// Graceful departure.
+  OpStats Leave(PeerId leaver);
+  /// Abrupt failure (requires kFailRecovery): the peer stops responding.
+  OpStats Fail(PeerId victim);
+  /// Repairs every pending failure (requires kFailRecovery).
+  OpStats RecoverAllFailures();
+
+  // ---- Index operations ----------------------------------------------------
+  OpStats Insert(PeerId from, Key key);
+  OpStats Delete(PeerId from, Key key);
+  OpStats ExactSearch(PeerId from, Key key);
+  /// Range query [lo, hi) (requires kRangeSearch).
+  OpStats RangeSearch(PeerId from, Key lo, Key hi);
+
+  // ---- Introspection -------------------------------------------------------
+  virtual size_t size() const = 0;
+  /// All members, in the backend's canonical (key-space) order.
+  virtual std::vector<PeerId> Members() const = 0;
+  virtual uint64_t total_keys() const = 0;
+  /// Validates the backend's structural invariants; CHECK-fails on
+  /// violation.
+  virtual void CheckInvariants() const = 0;
+
+  /// Salt the generic builder mixes into its rng seed. Each backend keeps
+  /// the value its historical hand-wired builder used, so bench tables stay
+  /// byte-identical across the unification.
+  virtual uint64_t build_salt() const = 0;
+
+ protected:
+  Overlay() = default;
+
+  virtual PeerId DoBootstrap() = 0;
+  virtual void DoJoin(PeerId contact, OpStats* st) = 0;
+  virtual void DoLeave(PeerId leaver, OpStats* st) = 0;
+  virtual void DoFail(PeerId victim, OpStats* st);
+  virtual void DoRecoverAllFailures(OpStats* st);
+  virtual void DoInsert(PeerId from, Key key, OpStats* st) = 0;
+  virtual void DoDelete(PeerId from, Key key, OpStats* st) = 0;
+  virtual void DoExactSearch(PeerId from, Key key, OpStats* st) = 0;
+  virtual void DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st);
+
+  /// Shared FailedPrecondition status for operations the backend opted out
+  /// of via capabilities().
+  Status Unsupported(const char* op) const;
+};
+
+}  // namespace overlay
+}  // namespace baton
+
+#endif  // BATON_OVERLAY_OVERLAY_H_

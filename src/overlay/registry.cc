@@ -1,0 +1,60 @@
+#include "overlay/registry.h"
+
+#include <map>
+
+#include "overlay/baton_overlay.h"
+#include "overlay/chord_overlay.h"
+#include "overlay/multiway_overlay.h"
+
+namespace baton {
+namespace overlay {
+
+namespace {
+
+// Builtins are seeded here rather than via static registrar objects in the
+// adapter translation units: those initializers would be silently dropped
+// when the static library's unreferenced objects are not linked in.
+std::map<std::string, Factory>& Registry() {
+  static std::map<std::string, Factory> registry = {
+      {"baton",
+       [](const Config& cfg) -> std::unique_ptr<Overlay> {
+         return std::make_unique<BatonOverlay>(cfg.baton, cfg.seed);
+       }},
+      {"chord",
+       [](const Config& cfg) -> std::unique_ptr<Overlay> {
+         return std::make_unique<ChordOverlay>(cfg.seed);
+       }},
+      {"multiway",
+       [](const Config& cfg) -> std::unique_ptr<Overlay> {
+         return std::make_unique<MultiwayOverlay>(cfg.multiway, cfg.seed);
+       }},
+  };
+  return registry;
+}
+
+}  // namespace
+
+void Register(const std::string& name, Factory factory) {
+  Registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Overlay> Make(const std::string& name, const Config& cfg) {
+  auto& registry = Registry();
+  auto it = registry.find(name);
+  if (it == registry.end()) return nullptr;
+  return it->second(cfg);
+}
+
+bool IsRegistered(const std::string& name) {
+  return Registry().count(name) != 0;
+}
+
+std::vector<std::string> RegisteredNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, factory] : Registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace overlay
+}  // namespace baton

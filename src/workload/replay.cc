@@ -1,0 +1,104 @@
+#include "workload/replay.h"
+
+#include "util/check.h"
+
+namespace baton {
+namespace workload {
+
+namespace {
+
+void Accumulate(OpAggregate* agg, const overlay::OpStats& st,
+                ReplayResult* res) {
+  ++agg->count;
+  if (st.ok()) ++agg->ok;
+  if (st.found) ++agg->found;
+  agg->messages += st.messages;
+  agg->hops += static_cast<uint64_t>(st.hops);
+  res->total_messages += st.messages;
+}
+
+}  // namespace
+
+ReplayResult Replay(overlay::Overlay& ov, const Trace& trace, Rng* rng,
+                    std::vector<net::PeerId>* members,
+                    const ReplayOptions& opts) {
+  BATON_CHECK(members != nullptr && !members->empty())
+      << "Replay needs a bootstrapped overlay with at least one member";
+  ReplayResult res;
+  for (const Op& op : trace) {
+    OpAggregate* agg = &res.per_op[static_cast<size_t>(op.type)];
+    // The one rng draw this op gets, taken before any capability or guard
+    // check so every backend consumes an identical random stream.
+    size_t idx = rng->NextBelow(members->size());
+    net::PeerId peer = (*members)[idx];
+    switch (op.type) {
+      case OpType::kJoin: {
+        overlay::OpStats st = ov.Join(peer);
+        Accumulate(agg, st, &res);
+        if (st.ok()) members->push_back(st.peer);
+        break;
+      }
+      case OpType::kLeave: {
+        if (members->size() <= opts.min_members) {
+          ++agg->skipped;
+          break;
+        }
+        overlay::OpStats st = ov.Leave(peer);
+        Accumulate(agg, st, &res);
+        if (st.ok()) {
+          members->erase(members->begin() + static_cast<long>(idx));
+        }
+        break;
+      }
+      case OpType::kFail: {
+        if (members->size() <= opts.min_members) {
+          ++agg->skipped;
+          break;
+        }
+        if (!ov.Supports(overlay::kFailRecovery)) {
+          ++agg->unsupported;
+          break;
+        }
+        overlay::OpStats st = ov.Fail(peer);
+        if (st.ok() && opts.recover_failures) {
+          overlay::OpStats rec = ov.RecoverAllFailures();
+          BATON_CHECK(rec.ok()) << rec.status.ToString();
+          st.messages += rec.messages;
+        }
+        Accumulate(agg, st, &res);
+        if (st.ok()) {
+          members->erase(members->begin() + static_cast<long>(idx));
+        }
+        break;
+      }
+      case OpType::kInsert:
+        Accumulate(agg, ov.Insert(peer, op.key), &res);
+        break;
+      case OpType::kDelete:
+        Accumulate(agg, ov.Delete(peer, op.key), &res);
+        break;
+      case OpType::kExact: {
+        overlay::OpStats st = ov.ExactSearch(peer, op.key);
+        Accumulate(agg, st, &res);
+        if (opts.record_answers) res.exact_found.push_back(st.found);
+        break;
+      }
+      case OpType::kRange: {
+        if (!ov.Supports(overlay::kRangeSearch)) {
+          ++agg->unsupported;
+          break;
+        }
+        overlay::OpStats st = ov.RangeSearch(peer, op.key, op.key_hi);
+        Accumulate(agg, st, &res);
+        if (opts.record_answers) res.range_matches.push_back(st.matches);
+        break;
+      }
+      case OpType::kNumOpTypes:
+        BATON_CHECK(false) << "kNumOpTypes is a sentinel, not an op";
+    }
+  }
+  return res;
+}
+
+}  // namespace workload
+}  // namespace baton

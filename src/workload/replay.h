@@ -1,0 +1,86 @@
+// workload::Replay: drive ANY overlay backend through a recorded operation
+// trace and aggregate per-operation OpStats. This is the overlay-generic
+// driver the comparison benches and the cross-backend differential tests
+// are built on: one trace, N backends, comparable numbers.
+//
+// Replay draws exactly one rng value per trace op (origin / contact /
+// victim selection), before any capability check, so two backends replaying
+// the same trace with equal-seeded rngs see identical random streams even
+// when one of them skips unsupported ops. That is what makes answer sets
+// directly comparable across backends.
+#ifndef BATON_WORKLOAD_REPLAY_H_
+#define BATON_WORKLOAD_REPLAY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "overlay/overlay.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace baton {
+namespace workload {
+
+struct ReplayOptions {
+  /// Leaves/failures are skipped while the overlay has at most this many
+  /// members (a trace must not shrink the overlay away underneath itself).
+  size_t min_members = 4;
+  /// Run RecoverAllFailures after every kFail (single-failure traces); the
+  /// recovery messages are charged to the kFail aggregate.
+  bool recover_failures = true;
+  /// Record per-query answers (found bits, range match counts) for
+  /// cross-backend differential comparison.
+  bool record_answers = false;
+};
+
+/// Per-OpType aggregate of the OpStats the overlay reported.
+struct OpAggregate {
+  uint64_t count = 0;        // ops executed (excluding skipped/unsupported)
+  uint64_t ok = 0;           // ops that returned OK
+  uint64_t found = 0;        // searches that found stored keys
+  uint64_t skipped = 0;      // guarded by min_members
+  uint64_t unsupported = 0;  // backend lacks the capability
+  uint64_t messages = 0;     // total OpStats::messages
+  uint64_t hops = 0;         // total OpStats::hops
+
+  double MeanMessages() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(messages) /
+                            static_cast<double>(count);
+  }
+  double MeanHops() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(hops) / static_cast<double>(count);
+  }
+};
+
+struct ReplayResult {
+  std::array<OpAggregate, kNumOpTypes> per_op{};
+  uint64_t total_messages = 0;  // sum of OpStats::messages over the trace
+
+  /// With ReplayOptions::record_answers: one entry per kExact op (was the
+  /// key stored?) and per kRange op (stored keys in the range), in trace
+  /// order. Two backends holding the same key set must produce identical
+  /// vectors -- the differential-test contract.
+  std::vector<bool> exact_found;
+  std::vector<uint64_t> range_matches;
+
+  const OpAggregate& of(OpType t) const {
+    return per_op[static_cast<size_t>(t)];
+  }
+};
+
+/// Replays `trace` against `ov`, picking op origins/contacts/victims from
+/// `members` via `rng` and maintaining `members` across membership changes
+/// (joiners appended, leavers/victims erased) -- the same bookkeeping every
+/// hand-wired bench loop used to carry.
+ReplayResult Replay(overlay::Overlay& ov, const Trace& trace, Rng* rng,
+                    std::vector<net::PeerId>* members,
+                    const ReplayOptions& opts = {});
+
+}  // namespace workload
+}  // namespace baton
+
+#endif  // BATON_WORKLOAD_REPLAY_H_

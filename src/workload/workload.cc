@@ -46,7 +46,7 @@ std::vector<Op> MakeChurnTrace(Rng* rng, KeyGenerator* gen,
                                const ChurnMix& mix) {
   std::vector<Op> trace;
   trace.reserve(mix.joins + mix.leaves + mix.failures + mix.inserts +
-                mix.exacts);
+                mix.exacts + mix.ranges);
   for (size_t i = 0; i < mix.joins; ++i) {
     trace.push_back(Op{OpType::kJoin, 0, 0});
   }
@@ -61,6 +61,10 @@ std::vector<Op> MakeChurnTrace(Rng* rng, KeyGenerator* gen,
   }
   for (size_t i = 0; i < mix.exacts; ++i) {
     trace.push_back(Op{OpType::kExact, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < mix.ranges; ++i) {
+    Key lo = gen->Next(rng);
+    trace.push_back(Op{OpType::kRange, lo, lo + mix.range_width});
   }
   rng->Shuffle(&trace);
   return trace;

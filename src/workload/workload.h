@@ -58,12 +58,19 @@ enum class OpType : uint8_t {
   kJoin,
   kLeave,
   kFail,  // abrupt failure of a random peer (churn traces)
+  kNumOpTypes,  // sentinel
 };
+
+inline constexpr int kNumOpTypes = static_cast<int>(OpType::kNumOpTypes);
 struct Op {
   OpType type;
   Key key = 0;
   Key key_hi = 0;  // for range queries
 };
+
+/// A recorded operation stream, replayable against any overlay backend
+/// (see workload/replay.h).
+using Trace = std::vector<Op>;
 
 /// Builds a mixed operation trace with the given counts, shuffled.
 std::vector<Op> MakeMixedTrace(Rng* rng, KeyGenerator* gen, size_t inserts,
@@ -77,6 +84,8 @@ struct ChurnMix {
   size_t failures = 0;  // each kFail op crashes one random live peer
   size_t inserts = 0;
   size_t exacts = 0;
+  size_t ranges = 0;       // range queries of width range_width
+  Key range_width = 0;
 };
 
 /// Builds a shuffled membership-churn trace: joins, graceful leaves, abrupt

@@ -10,8 +10,13 @@
 // costs, and the maintenance (routing-table update) traffic the churn
 // induced. Backends without a capability print "n/a" in that column.
 //
+// With --latency=const:N|uniform:LO,HI the sim/ event kernel is attached
+// and the search/range latency columns report simulated critical-path ticks
+// (0 when no model is given; the message/hop columns are unaffected).
+//
 //   ./bench_compare_overlays --sizes=200 --seeds=1
 //   ./bench_compare_overlays --overlay=baton,chord --sizes=1000
+//   ./bench_compare_overlays --sizes=500 --latency=uniform:5,20
 #include <string>
 
 #include "bench_common/experiment.h"
@@ -25,8 +30,8 @@ namespace {
 constexpr Key kDomainHi = 1000000000;
 
 struct SeriesStats {
-  RunningStat search_hops, search_msgs, range_msgs, insert_msgs;
-  RunningStat join_msgs, leave_msgs, maint_msgs;
+  RunningStat search_hops, search_msgs, search_lat, range_msgs, range_lat;
+  RunningStat insert_msgs, join_msgs, leave_msgs, maint_msgs;
   bool range_supported = true;
 };
 
@@ -50,6 +55,11 @@ void RunBackend(const std::string& name, size_t n, const Options& opt,
       LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
     }
 
+    // Attach the sim kernel after the build: the replayed ops below are
+    // timed, construction is not (and the protocol rng streams are
+    // untouched either way).
+    AttachLatency(&inst, opt.latency, seed);
+
     workload::ChurnMix mix;
     mix.joins = n / 10;
     mix.leaves = n / 10;
@@ -69,6 +79,7 @@ void RunBackend(const std::string& name, size_t n, const Options& opt,
     using workload::OpType;
     out->search_hops.Add(res.of(OpType::kExact).MeanHops());
     out->search_msgs.Add(res.of(OpType::kExact).MeanMessages());
+    out->search_lat.Add(res.of(OpType::kExact).MeanLatency());
     out->insert_msgs.Add(res.of(OpType::kInsert).MeanMessages());
     out->join_msgs.Add(res.of(OpType::kJoin).MeanMessages());
     out->leave_msgs.Add(res.of(OpType::kLeave).MeanMessages());
@@ -76,6 +87,7 @@ void RunBackend(const std::string& name, size_t n, const Options& opt,
       out->range_supported = false;
     } else {
       out->range_msgs.Add(res.of(OpType::kRange).MeanMessages());
+      out->range_lat.Add(res.of(OpType::kRange).MeanLatency());
     }
     uint64_t churn_ops = res.of(OpType::kJoin).count +
                          res.of(OpType::kLeave).count;
@@ -89,8 +101,8 @@ void RunBackend(const std::string& name, size_t n, const Options& opt,
 
 void Run(const Options& opt) {
   TablePrinter table({"N", "overlay", "caps", "search_hops", "search_msgs",
-                      "range_msgs", "insert_msgs", "join_msgs", "leave_msgs",
-                      "maint_per_churn"});
+                      "search_lat", "range_msgs", "range_lat", "insert_msgs",
+                      "join_msgs", "leave_msgs", "maint_per_churn"});
   for (size_t n : opt.sizes) {
     for (const std::string& name : SelectedOverlays(opt)) {
       SeriesStats st;
@@ -100,7 +112,10 @@ void Run(const Options& opt) {
                     overlay::CapabilitiesToString(caps),
                     TablePrinter::Num(st.search_hops.mean()),
                     TablePrinter::Num(st.search_msgs.mean()),
+                    TablePrinter::Num(st.search_lat.mean()),
                     st.range_supported ? TablePrinter::Num(st.range_msgs.mean())
+                                       : "n/a",
+                    st.range_supported ? TablePrinter::Num(st.range_lat.mean())
                                        : "n/a",
                     TablePrinter::Num(st.insert_msgs.mean()),
                     TablePrinter::Num(st.join_msgs.mean()),

@@ -1,0 +1,121 @@
+// Simulated query latency vs network size, per backend -- the time-based
+// comparison the paper could not make (it measured message counts only,
+// which "cannot distinguish a sequential 10-hop search from a 10-way
+// parallel fan-out").
+//
+// Per backend and size the bench builds the overlay, attaches the sim/
+// event kernel, and measures exact searches plus 0.1%-selectivity range
+// queries. Columns:
+//   exact_hops / exact_lat   routing hops and critical-path ticks per exact
+//                            search (equal under --latency=const:1: exact
+//                            routing is purely sequential)
+//   range_msgs / range_lat   messages and critical-path ticks per range
+//                            query; BATON's scan disseminates through
+//                            routing-table delegations, so its latency
+//                            grows like O(log N + log X), not O(log N + X)
+//   range_par                range_msgs / range_lat: effective parallelism
+//                            of the range scan (1.0 = fully sequential)
+//
+// The latency model defaults to const:1 so ticks read as "sequential hop
+// equivalents"; pass --latency=uniform:LO,HI for jittered links.
+//
+//   ./bench_latency_query --sizes=200 --seeds=1
+//   ./bench_latency_query --overlay=baton,multiway --latency=uniform:5,20
+#include <string>
+
+#include "bench_common/experiment.h"
+#include "util/stats.h"
+
+namespace baton {
+namespace bench {
+namespace {
+
+constexpr Key kDomainHi = 1000000000;
+
+struct SeriesStats {
+  RunningStat exact_hops, exact_lat, range_msgs, range_lat, range_par;
+  bool range_supported = true;
+};
+
+void RunBackend(const std::string& name, size_t n, const Options& opt,
+                SeriesStats* out) {
+  const Key width = kDomainHi / 1000;  // 0.1% selectivity, as in Fig 8(e)
+  for (int s = 0; s < opt.seeds; ++s) {
+    uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+    workload::UniformKeys keys(1, kDomainHi);
+
+    overlay::Config cfg = BalancedOverlayConfig();
+    Instance inst;
+    if (overlay::Make(name, cfg)->Supports(overlay::kOrderedGrowth)) {
+      inst = BuildOverlay(name, n, seed, cfg, opt.keys_per_node, &keys);
+    } else {
+      Rng load_rng(Mix64(seed ^ 0x10ad));
+      inst = BuildOverlay(name, n, seed, cfg);
+      LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
+    }
+    AttachLatency(&inst, opt.latency, seed);
+
+    Rng rng(Mix64(seed ^ 0x1a7e));
+    for (int q = 0; q < opt.queries; ++q) {
+      auto st = inst.overlay->ExactSearch(
+          inst.members[rng.NextBelow(inst.members.size())], keys.Next(&rng));
+      BATON_CHECK(st.ok()) << st.status.ToString();
+      out->exact_hops.Add(static_cast<double>(st.hops));
+      out->exact_lat.Add(static_cast<double>(st.latency_ticks));
+    }
+    if (!inst.overlay->Supports(overlay::kRangeSearch)) {
+      out->range_supported = false;
+      continue;
+    }
+    for (int q = 0; q < opt.queries; ++q) {
+      Key lo = rng.UniformInt(1, kDomainHi - width - 1);
+      auto st = inst.overlay->RangeSearch(
+          inst.members[rng.NextBelow(inst.members.size())], lo, lo + width);
+      BATON_CHECK(st.ok()) << st.status.ToString();
+      out->range_msgs.Add(static_cast<double>(st.messages));
+      out->range_lat.Add(static_cast<double>(st.latency_ticks));
+      if (st.latency_ticks > 0) {
+        out->range_par.Add(static_cast<double>(st.messages) /
+                           static_cast<double>(st.latency_ticks));
+      }
+    }
+  }
+}
+
+void Run(const Options& opt) {
+  TablePrinter table({"N", "overlay", "exact_hops", "exact_lat", "range_msgs",
+                      "range_lat", "range_par"});
+  for (size_t n : opt.sizes) {
+    for (const std::string& name : SelectedOverlays(opt)) {
+      SeriesStats st;
+      RunBackend(name, n, opt, &st);
+      table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)), name,
+                    TablePrinter::Num(st.exact_hops.mean()),
+                    TablePrinter::Num(st.exact_lat.mean()),
+                    st.range_supported ? TablePrinter::Num(st.range_msgs.mean())
+                                       : "n/a",
+                    st.range_supported ? TablePrinter::Num(st.range_lat.mean())
+                                       : "n/a",
+                    st.range_supported ? TablePrinter::Num(st.range_par.mean())
+                                       : "n/a"});
+    }
+  }
+  Emit("Query latency vs network size (ticks, critical path)", table,
+       opt.csv);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace baton
+
+int main(int argc, char** argv) {
+  baton::bench::Options opt = baton::bench::ParseOptions(argc, argv);
+  if (!opt.latency.enabled()) {
+    // A latency bench without a latency model would print zeros; default to
+    // one tick per hop so ticks read as sequential-hop equivalents.
+    opt.latency.kind = baton::bench::LatencySpec::Kind::kConst;
+    opt.latency.lo = opt.latency.hi = 1;
+  }
+  baton::bench::Run(opt);
+  return 0;
+}

@@ -1,8 +1,10 @@
-// Event-driven latency study: puts the discrete-event kernel (src/sim) under
-// the overlay to turn hop counts into wall-clock latencies. Each query is
-// scheduled as an event; every hop costs a sampled link latency; the run
-// reports the latency distribution alongside the message counts the paper
-// plots.
+// Event-driven latency study: attaches the discrete-event kernel (src/sim)
+// to the overlay's network so hop counts become simulated wall-clock
+// latencies. Query arrivals are scheduled on one event queue; a second
+// queue, attached via net::Network::AttachSim, timestamps every message the
+// protocol sends and yields each query's critical-path time (sequential
+// hops add, parallel fan-out takes the max over branches). The run reports
+// the latency distribution alongside the message counts the paper plots.
 //
 //   $ ./examples/event_driven_sim
 #include <cstdio>
@@ -28,9 +30,13 @@ int main() {
         .ToString();
   }
 
-  // Wide-area-ish links: 20-80 ms per hop.
+  // Wide-area-ish links: 20-80 ms per hop. Attached after the build so only
+  // the queries below are timed.
   sim::UniformLatency link(20, 80);
-  sim::EventQueue events;
+  sim::EventQueue deliveries;  // link-level kernel behind Network::Count
+  net.AttachSim(&deliveries, &link, /*seed=*/11);
+
+  sim::EventQueue arrivals;  // workload-level clock: when queries are issued
   Histogram latency_ms;
   Histogram hops_hist;
 
@@ -38,27 +44,25 @@ int main() {
   sim::Time t = 0;
   for (int q = 0; q < 2000; ++q) {
     t += rng.NextBelow(10) + 1;
-    events.ScheduleAt(t, [&overlay, &rng, &link, &latency_ms, &hops_hist,
-                          &peers, &events] {
+    arrivals.ScheduleAt(t, [&overlay, &net, &rng, &link, &latency_ms,
+                            &hops_hist, &peers] {
       PeerId from = peers[rng.NextBelow(peers.size())];
       Key k = rng.UniformInt(1, 999999999);
+      net.BeginOpWindow();
       auto r = overlay.ExactSearch(from, k);
+      sim::Time total = net.EndOpWindow();  // critical path of the routing
       if (!r.ok()) return;
-      // Hop count -> end-to-end latency under the link model.
-      sim::Time total = 0;
-      for (int h = 0; h < r.value().hops; ++h) total += link.Sample(&rng);
       hops_hist.Add(r.value().hops);
       // The answer itself travels one (long) path back to the origin.
       total += link.Sample(&rng);
       latency_ms.Add(static_cast<int64_t>(total));
-      (void)events;
     });
   }
-  events.RunUntilIdle();
+  arrivals.RunUntilIdle();
 
   std::printf("%llu queries over %llu virtual ms\n",
               static_cast<unsigned long long>(latency_ms.total_count()),
-              static_cast<unsigned long long>(events.now()));
+              static_cast<unsigned long long>(arrivals.now()));
   std::printf("hops:    mean %.2f  p50 %lld  p99 %lld\n", hops_hist.Mean(),
               static_cast<long long>(hops_hist.Percentile(0.5)),
               static_cast<long long>(hops_hist.Percentile(0.99)));

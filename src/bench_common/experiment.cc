@@ -67,11 +67,72 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "  --queries=N           queries/operations per point\n"
       "  --seed=S              base RNG seed\n"
       "  --overlay=name[,...]  backends to run (registered: %s)\n"
+      "  --latency=MODEL       link latency: const:N or uniform:LO,HI "
+      "(ticks);\n"
+      "                        enables simulated per-op latency reporting\n"
       "  --help                print this message and exit\n",
       argv0, JoinedRegisteredNames().c_str());
 }
 
 }  // namespace
+
+LatencySpec ParseLatencySpec(const char* arg) {
+  LatencySpec spec;
+  auto bad = [&]() {
+    std::fprintf(stderr,
+                 "bad --latency value '%s' (want const:N or uniform:LO,HI "
+                 "with LO <= HI)\n",
+                 arg);
+    std::exit(2);
+  };
+  auto parse_ticks = [&](const char** p) {
+    if (**p < '0' || **p > '9') bad();
+    sim::Time v = 0;
+    while (**p >= '0' && **p <= '9') {
+      v = v * 10 + static_cast<sim::Time>(**p - '0');
+      ++*p;
+    }
+    return v;
+  };
+  const char* p = arg;
+  if (std::strncmp(p, "const:", 6) == 0) {
+    p += 6;
+    spec.kind = LatencySpec::Kind::kConst;
+    spec.lo = spec.hi = parse_ticks(&p);
+  } else if (std::strncmp(p, "uniform:", 8) == 0) {
+    p += 8;
+    spec.kind = LatencySpec::Kind::kUniform;
+    spec.lo = parse_ticks(&p);
+    if (*p != ',') bad();
+    ++p;
+    spec.hi = parse_ticks(&p);
+    if (spec.hi < spec.lo) bad();
+  } else {
+    bad();
+  }
+  if (*p != '\0') bad();
+  return spec;
+}
+
+std::unique_ptr<sim::LatencyModel> MakeLatencyModel(const LatencySpec& spec) {
+  switch (spec.kind) {
+    case LatencySpec::Kind::kNone:
+      return nullptr;
+    case LatencySpec::Kind::kConst:
+      return std::make_unique<sim::ConstantLatency>(spec.lo);
+    case LatencySpec::Kind::kUniform:
+      return std::make_unique<sim::UniformLatency>(spec.lo, spec.hi);
+  }
+  return nullptr;
+}
+
+void AttachLatency(Instance* inst, const LatencySpec& spec, uint64_t seed) {
+  if (!spec.enabled()) return;
+  inst->queue = std::make_unique<sim::EventQueue>();
+  inst->latency = MakeLatencyModel(spec);
+  inst->overlay->AttachLatency(inst->queue.get(), inst->latency.get(),
+                               Mix64(seed ^ 0x11c0));
+}
 
 Options ParseOptions(int argc, char** argv) {
   Options opt;
@@ -96,6 +157,8 @@ Options ParseOptions(int argc, char** argv) {
       opt.sizes = ParseSizes(a + 8);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       opt.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--latency=", 10) == 0) {
+      opt.latency = ParseLatencySpec(a + 10);
     } else if (std::strncmp(a, "--overlay=", 10) == 0) {
       opt.overlays = SplitNames(a + 10);
       if (opt.overlays.empty()) {

@@ -17,12 +17,33 @@
 
 #include "baton/baton.h"
 #include "overlay/registry.h"
+#include "sim/latency.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
 #include "workload/workload.h"
 
 namespace baton {
 namespace bench {
+
+/// Link-latency model selected with --latency=const:N|uniform:LO,HI. With
+/// Kind::kNone no sim kernel is attached at all: OpStats::latency_ticks
+/// stays 0 and every bench table is byte-identical to a build without sim
+/// support.
+struct LatencySpec {
+  enum class Kind { kNone, kConst, kUniform };
+  Kind kind = Kind::kNone;
+  sim::Time lo = 0;
+  sim::Time hi = 0;
+
+  bool enabled() const { return kind != Kind::kNone; }
+};
+
+/// Parses "const:N" or "uniform:LO,HI"; prints a diagnostic and exits 2 on
+/// malformed input (including uniform bounds with HI < LO).
+LatencySpec ParseLatencySpec(const char* arg);
+
+/// Builds the latency model `spec` describes, or nullptr for Kind::kNone.
+std::unique_ptr<sim::LatencyModel> MakeLatencyModel(const LatencySpec& spec);
 
 struct Options {
   std::vector<size_t> sizes = {1000, 2000, 4000, 8000};
@@ -33,11 +54,15 @@ struct Options {
   bool csv = false;
   /// Backends selected with --overlay=...; empty means "all registered".
   std::vector<std::string> overlays;
+  /// Link latency model from --latency=...; Kind::kNone leaves the sim
+  /// kernel detached.
+  LatencySpec latency;
 };
 
 /// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
-/// --sizes=a,b,c, --seed=S, --overlay=name[,name...], --help (prints usage,
-/// exits 0). Unknown flags print the usage and exit 2.
+/// --sizes=a,b,c, --seed=S, --overlay=name[,name...],
+/// --latency=const:N|uniform:LO,HI, --help (prints usage, exits 0). Unknown
+/// flags print the usage and exit 2.
 Options ParseOptions(int argc, char** argv);
 
 /// The backends a multi-backend bench should run: opt.overlays when given,
@@ -65,8 +90,19 @@ struct Instance {
   std::unique_ptr<overlay::Overlay> overlay;
   std::vector<net::PeerId> members;
 
+  /// Sim kernel driving OpStats::latency_ticks; set by AttachLatency (null
+  /// until then, and the overlay runs untimed).
+  std::unique_ptr<sim::EventQueue> queue;
+  std::unique_ptr<sim::LatencyModel> latency;
+
   net::Network* net() { return overlay->network(); }
 };
+
+/// Attaches a sim/ event kernel built from `spec` to the instance (no-op
+/// for Kind::kNone): subsequent operations fill OpStats::latency_ticks.
+/// The sampling rng is seeded from `seed` independently of every protocol
+/// rng, so message counts and protocol decisions are unaffected.
+void AttachLatency(Instance* inst, const LatencySpec& spec, uint64_t seed);
 
 /// Builds an overlay of n `name`-backend nodes joined via random contacts.
 /// When `preload` is non-null, keys_per_node * n keys are loaded before

@@ -1,6 +1,9 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "sim/latency.h"
 
 namespace baton {
 namespace net {
@@ -9,6 +12,7 @@ PeerId Network::Register() {
   PeerId id = static_cast<PeerId>(alive_.size());
   alive_.push_back(true);
   processed_.push_back({});
+  frontier_.push_back({});
   ++num_alive_;
   return id;
 }
@@ -39,6 +43,59 @@ void Network::Count(PeerId from, PeerId to, MsgType type) {
   if (alive_[to]) {
     ++processed_[to][static_cast<size_t>(CategoryOf(type))];
   }
+  if (sim_queue_ != nullptr) {
+    // Critical-path timing: the message departs when its sender last became
+    // available in this window (a fresh origin departs at 0), and arrives
+    // one latency sample later. Receivers take the max over everything in
+    // flight toward them, so parallel fan-out from one sender costs a
+    // single latency while sequential relays accumulate.
+    sim::Time departs = FrontierAt(from);
+    sim::Time arrives = departs + sim_latency_->Sample(&sim_rng_);
+    Frontier& f = frontier_[to];
+    if (f.epoch != window_epoch_ || arrives > f.at) {
+      f = Frontier{window_epoch_, arrives};
+    }
+    horizon_ = std::max(horizon_, arrives);
+    // The delivery event: running the queue (EndOpWindow) advances the
+    // virtual clock to the operation's completion time. Counts issued
+    // outside any window share the clock position of the last window.
+    sim::Time base = std::max(window_start_, sim_queue_->now());
+    sim_queue_->ScheduleAt(base + arrives, [this] { ++sim_delivered_; });
+  }
+}
+
+void Network::AttachSim(sim::EventQueue* queue, sim::LatencyModel* latency,
+                        uint64_t seed) {
+  BATON_CHECK_EQ(queue == nullptr, latency == nullptr)
+      << "queue and latency model must be attached together";
+  sim_queue_ = queue;
+  sim_latency_ = latency;
+  sim_rng_ = Rng(seed);
+  window_epoch_ = 0;
+  window_start_ = queue != nullptr ? queue->now() : 0;
+  horizon_ = 0;
+  sim_delivered_ = 0;
+  for (Frontier& f : frontier_) f = Frontier{};
+}
+
+void Network::BeginOpWindow() {
+  if (sim_queue_ == nullptr) return;
+  ++window_epoch_;
+  window_start_ = sim_queue_->now();
+  horizon_ = 0;
+}
+
+sim::Time Network::EndOpWindow() {
+  if (sim_queue_ == nullptr) return 0;
+  sim_queue_->RunUntilIdle();
+  sim::Time h = horizon_;
+  // Close the window: stray Counts issued before the next BeginOpWindow
+  // start from a fresh frontier anchored at the advanced clock, instead of
+  // re-applying this window's elapsed time on top of it.
+  ++window_epoch_;
+  window_start_ = sim_queue_->now();
+  horizon_ = 0;
+  return h;
 }
 
 uint64_t Network::ProcessedBy(PeerId p, MsgCategory c) const {

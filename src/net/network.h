@@ -9,7 +9,15 @@
 //  * liveness tracking (peers can fail; sending to a dead peer is a wasted
 //    message that the caller must detect and recover from),
 //  * a deferred-update facility modelling update-propagation delay for the
-//    network-dynamics experiment (Fig. 8(i)).
+//    network-dynamics experiment (Fig. 8(i)),
+//  * an optional attachment to the sim/ discrete-event kernel: with an
+//    EventQueue + LatencyModel attached, Count() also schedules the
+//    message's delivery event and maintains a per-peer "message available
+//    at" frontier, so an operation's critical-path time (sequential hops
+//    add, parallel fan-out takes the max over branches) can be read out per
+//    measurement window. Message counters are unaffected, and no protocol
+//    rng is touched: with no model attached, behaviour is bit-for-bit
+//    identical to a build without sim support.
 #ifndef BATON_NET_NETWORK_H_
 #define BATON_NET_NETWORK_H_
 
@@ -21,9 +29,15 @@
 #include <vector>
 
 #include "net/message.h"
+#include "sim/event_queue.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace baton {
+namespace sim {
+class LatencyModel;
+}  // namespace sim
+
 namespace net {
 
 using PeerId = uint32_t;
@@ -84,6 +98,30 @@ class Network {
 
   std::string CounterReport() const;
 
+  // ---- Simulated latency (sim/ event-kernel attachment) --------------------
+  /// Attaches the discrete-event kernel: every subsequent Count() samples a
+  /// link latency, schedules the message's delivery event on `queue`, and
+  /// advances the receiver's availability frontier. `queue` and `latency`
+  /// are non-owning and must outlive the attachment; pass nullptr for both
+  /// to detach. `seed` seeds the latency-sampling rng, which is independent
+  /// of every protocol rng (message counts and protocol decisions are
+  /// byte-identical with or without an attachment).
+  void AttachSim(sim::EventQueue* queue, sim::LatencyModel* latency,
+                 uint64_t seed);
+  bool sim_attached() const { return sim_queue_ != nullptr; }
+
+  /// Opens a measurement window: the per-peer frontier resets (every peer
+  /// is immediately available) and critical-path accounting restarts. O(1).
+  void BeginOpWindow();
+  /// Drains the window's delivery events (advancing the queue clock to the
+  /// operation's completion time) and returns the window's critical-path
+  /// length in ticks: max over all messages of their arrival time, where a
+  /// message departs when its sender last became available. Returns 0 when
+  /// no kernel is attached.
+  sim::Time EndOpWindow();
+  /// Delivery events processed since AttachSim (one per counted message).
+  uint64_t sim_delivered() const { return sim_delivered_; }
+
   // ---- Deferred updates (network dynamics, Fig. 8(i)) ----------------------
   /// While deferring, Apply() queues the closure instead of running it.
   /// This models "it takes some time for the network to update knowledge of
@@ -108,6 +146,28 @@ class Network {
 
   bool defer_updates_ = false;
   std::deque<std::function<void()>> deferred_;
+
+  // ---- sim attachment state ----
+  /// "Message available at" frontier entry: the virtual time (relative to
+  /// the current window's start) at which the peer received its latest
+  /// message. Epoch-stamped so BeginOpWindow resets all peers in O(1).
+  struct Frontier {
+    uint64_t epoch = 0;
+    sim::Time at = 0;
+  };
+  sim::Time FrontierAt(PeerId p) const {
+    const Frontier& f = frontier_[p];
+    return f.epoch == window_epoch_ ? f.at : 0;
+  }
+
+  sim::EventQueue* sim_queue_ = nullptr;
+  sim::LatencyModel* sim_latency_ = nullptr;
+  Rng sim_rng_{0};
+  std::vector<Frontier> frontier_;
+  uint64_t window_epoch_ = 0;
+  sim::Time window_start_ = 0;  // queue time when the window opened
+  sim::Time horizon_ = 0;       // critical path of the current window
+  uint64_t sim_delivered_ = 0;
 };
 
 }  // namespace net

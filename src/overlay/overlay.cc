@@ -5,13 +5,17 @@ namespace overlay {
 
 namespace {
 
-/// Runs `fn(&st)` with counter snapshots around it so st.messages is the
-/// exact message cost of the operation, whatever the backend did inside.
+/// Runs `fn(&st)` with counter snapshots and a sim measurement window
+/// around it, so st.messages is the exact message cost of the operation and
+/// st.latency_ticks its simulated critical-path time (0 with no latency
+/// model attached), whatever the backend did inside.
 template <typename Fn>
 OpStats Measured(net::Network* net, Fn&& fn) {
   OpStats st;
   net::CounterSnapshot before = net->Snapshot();
+  net->BeginOpWindow();
   fn(&st);
+  st.latency_ticks = net->EndOpWindow();
   st.messages = net::Network::Delta(before, net->Snapshot());
   return st;
 }

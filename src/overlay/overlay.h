@@ -52,8 +52,10 @@ enum Capability : uint32_t {
 std::string CapabilitiesToString(uint32_t caps);
 
 /// Uniform per-operation outcome. Every field is filled by the backend
-/// except `messages`, which the Overlay base class computes as the raw
-/// net::Network counter delta across the operation.
+/// except `messages` and `latency_ticks`, which the Overlay base class
+/// computes: `messages` as the raw net::Network counter delta across the
+/// operation, `latency_ticks` as the operation's simulated critical-path
+/// time when a sim/ event kernel is attached (see AttachLatency).
 struct OpStats {
   Status status = Status::OK();
   /// Operation-specific peer: the accepted joiner (Join) or the node whose
@@ -64,6 +66,10 @@ struct OpStats {
   uint64_t nodes = 0;     // range search: nodes intersecting the range
   int hops = 0;           // routing hops reported by the backend
   uint64_t messages = 0;  // total message delta for the whole operation
+  /// Simulated wall-clock cost of the operation in ticks: sequential hops
+  /// add, parallel fan-out takes the max over branches. Always 0 when no
+  /// latency model is attached.
+  uint64_t latency_ticks = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -89,6 +95,17 @@ class Overlay {
   virtual net::Network* network() = 0;
   const net::Network* network() const {
     return const_cast<Overlay*>(this)->network();
+  }
+
+  /// Attaches the sim/ discrete-event kernel to the backend's network so
+  /// every subsequent operation reports its simulated critical-path time in
+  /// OpStats::latency_ticks (see net::Network::AttachSim). Works on every
+  /// backend: the timing is derived from the Count() stream, not from
+  /// backend code. `queue` and `latency` are non-owning and must outlive
+  /// the attachment.
+  void AttachLatency(sim::EventQueue* queue, sim::LatencyModel* latency,
+                     uint64_t seed) {
+    network()->AttachSim(queue, latency, seed);
   }
 
   // ---- Membership ----------------------------------------------------------

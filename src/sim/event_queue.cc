@@ -37,6 +37,10 @@ uint64_t EventQueue::RunUntilIdle(uint64_t max_events) {
 uint64_t EventQueue::RunUntil(Time t_end) {
   uint64_t n = 0;
   while (!queue_.empty() && queue_.top().at <= t_end && Step()) ++n;
+  // The clock must land on the deadline itself, not on the last processed
+  // event: a subsequent ScheduleAfter(d) fires at t_end + d. Never move
+  // backwards (t_end may already be in the past).
+  if (t_end > now_) now_ = t_end;
   return n;
 }
 

@@ -26,7 +26,9 @@ class EventQueue {
   /// Run events until the queue is empty or `max_events` were processed.
   /// Returns the number of events processed.
   uint64_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
-  /// Run all events with time <= t_end.
+  /// Run all events with time <= t_end, then advance the clock to t_end
+  /// (even if the last event fired earlier), so ScheduleAfter(d) afterwards
+  /// fires at t_end + d. The clock never moves backwards.
   uint64_t RunUntil(Time t_end);
 
   Time now() const { return now_; }

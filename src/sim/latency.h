@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace baton {
@@ -30,7 +31,11 @@ class ConstantLatency : public LatencyModel {
 /// Uniform in [lo, hi] — models jitter between peers.
 class UniformLatency : public LatencyModel {
  public:
-  UniformLatency(Time lo, Time hi) : lo_(lo), hi_(hi) {}
+  UniformLatency(Time lo, Time hi) : lo_(lo), hi_(hi) {
+    // Inverted bounds would underflow hi - lo + 1 in Sample() and draw from
+    // an astronomically large range; reject them up front.
+    BATON_CHECK_LE(lo, hi) << "UniformLatency bounds are inverted";
+  }
   Time Sample(Rng* rng) override {
     return lo_ + rng->NextBelow(hi_ - lo_ + 1);
   }

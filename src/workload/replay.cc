@@ -13,8 +13,12 @@ void Accumulate(OpAggregate* agg, const overlay::OpStats& st,
   if (st.ok()) ++agg->ok;
   if (st.found) ++agg->found;
   agg->messages += st.messages;
-  agg->hops += static_cast<uint64_t>(st.hops);
+  // hops is signed and some backends report a negative sentinel on failed
+  // ops; a raw cast would wrap to ~2^64 and corrupt the aggregate.
+  if (st.hops > 0) agg->hops += static_cast<uint64_t>(st.hops);
+  agg->latency += st.latency_ticks;
   res->total_messages += st.messages;
+  res->total_latency += st.latency_ticks;
 }
 
 }  // namespace
@@ -64,6 +68,7 @@ ReplayResult Replay(overlay::Overlay& ov, const Trace& trace, Rng* rng,
           overlay::OpStats rec = ov.RecoverAllFailures();
           BATON_CHECK(rec.ok()) << rec.status.ToString();
           st.messages += rec.messages;
+          st.latency_ticks += rec.latency_ticks;
         }
         Accumulate(agg, st, &res);
         if (st.ok()) {

@@ -43,7 +43,8 @@ struct OpAggregate {
   uint64_t skipped = 0;      // guarded by min_members
   uint64_t unsupported = 0;  // backend lacks the capability
   uint64_t messages = 0;     // total OpStats::messages
-  uint64_t hops = 0;         // total OpStats::hops
+  uint64_t hops = 0;         // total OpStats::hops (negative hops clamp to 0)
+  uint64_t latency = 0;      // total OpStats::latency_ticks
 
   double MeanMessages() const {
     return count == 0 ? 0.0
@@ -54,11 +55,19 @@ struct OpAggregate {
     return count == 0 ? 0.0
                       : static_cast<double>(hops) / static_cast<double>(count);
   }
+  /// Mean simulated critical-path ticks per op (0 unless the overlay had a
+  /// latency model attached during the replay).
+  double MeanLatency() const {
+    return count == 0
+               ? 0.0
+               : static_cast<double>(latency) / static_cast<double>(count);
+  }
 };
 
 struct ReplayResult {
   std::array<OpAggregate, kNumOpTypes> per_op{};
   uint64_t total_messages = 0;  // sum of OpStats::messages over the trace
+  uint64_t total_latency = 0;   // sum of OpStats::latency_ticks
 
   /// With ReplayOptions::record_answers: one entry per kExact op (was the
   /// key stored?) and per kRange op (stored keys in the range), in trace

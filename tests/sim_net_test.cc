@@ -53,6 +53,37 @@ TEST(EventQueue, RunUntilStopsAtDeadline) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, RunUntilAdvancesClockToDeadline) {
+  // Regression: RunUntil used to leave now() at the last processed event,
+  // so a subsequent ScheduleAfter(d) fired at last_event + d instead of
+  // t_end + d.
+  sim::EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(5, [&] { ++fired; });
+  q.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 10u);
+  q.ScheduleAfter(3, [&] { ++fired; });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 13u);
+}
+
+TEST(EventQueue, RunUntilNeverMovesClockBackwards) {
+  sim::EventQueue q;
+  q.ScheduleAt(20, [] {});
+  q.RunUntilIdle();
+  EXPECT_EQ(q.now(), 20u);
+  q.RunUntil(10);  // deadline in the past: nothing to run, clock stays
+  EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueStillAdvances) {
+  sim::EventQueue q;
+  EXPECT_EQ(q.RunUntil(42), 0u);
+  EXPECT_EQ(q.now(), 42u);
+}
+
 TEST(EventQueue, MaxEventsBudget) {
   sim::EventQueue q;
   int fired = 0;
@@ -71,6 +102,12 @@ TEST(Latency, ConstantAndUniform) {
     EXPECT_GE(t, 2u);
     EXPECT_LE(t, 4u);
   }
+}
+
+TEST(LatencyDeathTest, UniformRejectsInvertedBounds) {
+  // Regression: hi < lo used to underflow hi - lo + 1 in Sample() and draw
+  // from an astronomically large bound instead of failing fast.
+  EXPECT_DEATH(sim::UniformLatency(5, 2), "inverted");
 }
 
 // ---------- Network ----------
@@ -175,6 +212,86 @@ TEST(Network, CounterReportListsTypes) {
   net.Count(a, b, net::MsgType::kJoinForward);
   std::string report = net.CounterReport();
   EXPECT_NE(report.find("JoinForward"), std::string::npos);
+}
+
+// ---------- Network + sim attachment (critical-path frontier) ----------
+
+TEST(NetworkSim, SequentialHopsAdd) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register(), c = net.Register();
+  sim::EventQueue q;
+  sim::ConstantLatency lat(2);
+  net.AttachSim(&q, &lat, 1);
+
+  net.BeginOpWindow();
+  net.Count(a, b, net::MsgType::kExactQuery);  // b available at 2
+  net.Count(b, c, net::MsgType::kExactQuery);  // departs 2, arrives 4
+  EXPECT_EQ(net.EndOpWindow(), 4u);
+  EXPECT_EQ(q.now(), 4u);  // the queue clock is the op's completion time
+  EXPECT_EQ(net.sim_delivered(), 2u);
+  EXPECT_EQ(net.total_messages(), 2u);  // counters are unaffected
+}
+
+TEST(NetworkSim, ParallelFanOutTakesMaxNotSum) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register(), c = net.Register(),
+              d = net.Register();
+  sim::EventQueue q;
+  sim::ConstantLatency lat(3);
+  net.AttachSim(&q, &lat, 1);
+
+  net.BeginOpWindow();
+  // One sender, three branches: all departures share a's frontier (0), so
+  // the critical path is one latency, not three (the naive per-message sum
+  // would be 9).
+  net.Count(a, b, net::MsgType::kExactQuery);
+  net.Count(a, c, net::MsgType::kExactQuery);
+  net.Count(a, d, net::MsgType::kExactQuery);
+  EXPECT_EQ(net.EndOpWindow(), 3u);
+}
+
+TEST(NetworkSim, WindowsResetTheFrontierAndAdvanceTheClock) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  sim::EventQueue q;
+  sim::ConstantLatency lat(5);
+  net.AttachSim(&q, &lat, 1);
+
+  net.BeginOpWindow();
+  net.Count(a, b, net::MsgType::kInsert);
+  EXPECT_EQ(net.EndOpWindow(), 5u);
+
+  // A fresh window starts from a clean frontier (b is immediately
+  // available again) but the virtual clock keeps accumulating.
+  net.BeginOpWindow();
+  net.Count(b, a, net::MsgType::kInsert);
+  EXPECT_EQ(net.EndOpWindow(), 5u);
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(NetworkSim, DetachedWindowsReportZero) {
+  net::Network net;
+  net::PeerId a = net.Register(), b = net.Register();
+  EXPECT_FALSE(net.sim_attached());
+  net.BeginOpWindow();
+  net.Count(a, b, net::MsgType::kInsert);
+  EXPECT_EQ(net.EndOpWindow(), 0u);
+  EXPECT_EQ(net.total_messages(), 1u);
+}
+
+TEST(NetworkSim, UniformSamplingIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    net::Network net;
+    net::PeerId a = net.Register(), b = net.Register();
+    sim::EventQueue q;
+    sim::UniformLatency lat(1, 100);
+    net.AttachSim(&q, &lat, seed);
+    net.BeginOpWindow();
+    for (int i = 0; i < 10; ++i) net.Count(a, b, net::MsgType::kInsert);
+    return net.EndOpWindow();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // virtually certain over 10 draws in [1,100]
 }
 
 TEST(MsgType, EveryTypeHasNameAndCategory) {

@@ -76,7 +76,7 @@ void Run(const Options& opt) {
   }
   Emit("Ablation: multiway-tree fan-out trade-off (N=" + std::to_string(n) +
            ")",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

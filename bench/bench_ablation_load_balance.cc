@@ -79,7 +79,7 @@ void Run(const Options& opt) {
   }
   Emit("Ablation: load-balancing scheme under Zipf(1.0) (N=" +
            std::to_string(n) + ")",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

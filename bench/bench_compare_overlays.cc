@@ -123,8 +123,7 @@ void Run(const Options& opt) {
                     TablePrinter::Num(st.maint_msgs.mean())});
     }
   }
-  Emit("Overlay comparison: same trace, every registered backend", table,
-       opt.csv);
+  Emit("Overlay comparison: same trace, every registered backend", table, opt);
 }
 
 }  // namespace

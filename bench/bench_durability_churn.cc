@@ -135,7 +135,7 @@ void Run(const Options& opt) {
     }
   }
   Emit("Durability under churn: key loss and replication overhead vs r",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

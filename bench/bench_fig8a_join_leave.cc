@@ -66,8 +66,7 @@ void Run(const Options& opt) {
                   TablePrinter::Num(cj.mean()), TablePrinter::Num(cl.mean()),
                   TablePrinter::Num(mj.mean()), TablePrinter::Num(ml.mean())});
   }
-  Emit("Fig 8(a): avg messages to find join node / replacement node", table,
-       opt.csv);
+  Emit("Fig 8(a): avg messages to find join node / replacement node", table, opt);
 }
 
 }  // namespace

@@ -72,7 +72,7 @@ void Run(const Options& opt) {
                   TablePrinter::Num(mj.mean()), TablePrinter::Num(ml.mean())});
   }
   Emit("Fig 8(b): avg messages to update routing tables on join / leave",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

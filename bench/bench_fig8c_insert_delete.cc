@@ -65,7 +65,7 @@ void Run(const Options& opt) {
                   TablePrinter::Num(mi_s.mean()),
                   TablePrinter::Num(md_s.mean())});
   }
-  Emit("Fig 8(c): avg messages per insert / delete", table, opt.csv);
+  Emit("Fig 8(c): avg messages per insert / delete", table, opt);
 }
 
 }  // namespace

@@ -49,7 +49,7 @@ void Run(const Options& opt) {
                   TablePrinter::Num(b.mean()), TablePrinter::Num(c.mean()),
                   TablePrinter::Num(m.mean())});
   }
-  Emit("Fig 8(d): avg messages per exact-match query", table, opt.csv);
+  Emit("Fig 8(d): avg messages per exact-match query", table, opt);
 }
 
 }  // namespace

@@ -54,8 +54,7 @@ void Run(const Options& opt) {
                   TablePrinter::Num(m.mean()), TablePrinter::Num(mn.mean()),
                   "n/a"});
   }
-  Emit("Fig 8(e): avg messages per range query (0.1% selectivity)", table,
-       opt.csv);
+  Emit("Fig 8(e): avg messages per range query (0.1% selectivity)", table, opt);
 }
 
 }  // namespace

@@ -66,7 +66,7 @@ void Run(const Options& opt) {
   }
   Emit("Fig 8(f): access load per node by tree level (N=" +
            std::to_string(n) + ")",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ void Run(const Options& opt) {
        "(N=" + std::to_string(n) + ", avg LB ops uniform=" +
            TablePrinter::Num(uni_ops.mean(), 1) + " zipf=" +
            TablePrinter::Num(zipf_ops.mean(), 1) + ")",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ void Run(const Options& opt) {
   Emit("Fig 8(h): size of the load-balancing shift (Zipf(1.0), N=" +
            std::to_string(n) + ", " +
            std::to_string(hist.total_count()) + " restructures)",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

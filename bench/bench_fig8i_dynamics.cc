@@ -78,7 +78,7 @@ void Run(const Options& opt) {
   }
   Emit("Fig 8(i): extra query messages under concurrent joins/leaves (N=" +
            std::to_string(n) + ")",
-       table, opt.csv);
+       table, opt);
 }
 
 }  // namespace

@@ -100,8 +100,7 @@ void Run(const Options& opt) {
                                        : "n/a"});
     }
   }
-  Emit("Query latency vs network size (ticks, critical path)", table,
-       opt.csv);
+  Emit("Query latency vs network size (ticks, critical path)", table, opt);
 }
 
 }  // namespace

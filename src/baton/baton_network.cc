@@ -52,69 +52,66 @@ PeerId BatonNetwork::Bootstrap() {
 }
 
 void BatonNetwork::IndexPosition(BatonNode* n) {
-  auto [it, inserted] = pos_index_.emplace(n->pos.Packed(), n->id);
+  bool inserted = pos_index_.Insert(n->pos.Packed(), n->id);
   BATON_CHECK(inserted) << "position " << n->pos << " already occupied by "
-                        << it->second;
+                        << OccupantOf(n->pos);
+  size_t level = n->pos.level;
+  if (level >= level_counts_.size()) level_counts_.resize(level + 1, 0);
+  ++level_counts_[level];
+  height_ = std::max(height_, static_cast<int>(level));
+  if (config_.enable_recruit_directory) {
+    recruit_dir_.emplace(n->pos.Packed(), n->id);
+  }
 }
 
 void BatonNetwork::UnindexPosition(BatonNode* n) {
-  auto it = pos_index_.find(n->pos.Packed());
-  BATON_CHECK(it != pos_index_.end());
-  BATON_CHECK_EQ(it->second, n->id);
-  pos_index_.erase(it);
-}
-
-PeerId BatonNetwork::OccupantOf(const Position& pos) const {
-  auto it = pos_index_.find(pos.Packed());
-  return it == pos_index_.end() ? kNullPeer : it->second;
+  const PeerId* occ = pos_index_.Find(n->pos.Packed());
+  BATON_CHECK(occ != nullptr);
+  BATON_CHECK_EQ(*occ, n->id);
+  pos_index_.Erase(n->pos.Packed());
+  size_t level = n->pos.level;
+  BATON_CHECK_LT(level, level_counts_.size());
+  BATON_CHECK_GT(level_counts_[level], 0u);
+  --level_counts_[level];
+  // The height can only shrink when the bottom level empties; walk up past
+  // any (transiently) empty levels. Amortised O(1) over any op sequence.
+  while (height_ >= 0 && level_counts_[static_cast<size_t>(height_)] == 0) {
+    --height_;
+  }
+  if (config_.enable_recruit_directory) {
+    recruit_dir_.erase(n->pos.Packed());
+  }
 }
 
 std::vector<PeerId> BatonNetwork::Members() const {
-  std::vector<std::pair<uint64_t, PeerId>> order;
-  order.reserve(pos_index_.size());
-  for (const auto& [packed, id] : pos_index_) {
-    order.emplace_back(N(id)->pos.InOrderKey(), id);
-  }
-  std::sort(order.begin(), order.end());
+  // Iterative in-order walk over the directory (the ground truth the
+  // invariant checker also validates adjacency against -- deriving the
+  // member order from cached adjacent links would make that check
+  // circular). Each node costs O(1) probes, so the walk is O(N) with no
+  // sort. The size check at the end keeps orphaned subtrees (unreachable
+  // from the root) as loud as the old full-directory scan made them.
   std::vector<PeerId> out;
-  out.reserve(order.size());
-  for (const auto& [key, id] : order) out.push_back(id);
-  return out;
-}
-
-int BatonNetwork::Height() const {
-  int h = -1;
-  for (const auto& [packed, id] : pos_index_) {
-    h = std::max(h, static_cast<int>(N(id)->pos.level));
-  }
-  return h;
-}
-
-void BatonNetwork::ForEachInboundRef(
-    BatonNode* x, const std::function<void(BatonNode*, NodeRef*)>& fn) {
-  // The holders of links to x are exactly the targets of x's own symmetric
-  // links: its parent, children, two adjacent nodes, and the same-level nodes
-  // in its routing tables (whose opposite-side entry at the same slot points
-  // back at x, by construction).
-  if (BatonNode* p = NodeOrNull(x->parent)) {
-    NodeRef* ref = x->pos.IsLeftChild() ? &p->left_child : &p->right_child;
-    fn(p, ref);
-  }
-  if (BatonNode* c = NodeOrNull(x->left_child)) fn(c, &c->parent);
-  if (BatonNode* c = NodeOrNull(x->right_child)) fn(c, &c->parent);
-  if (BatonNode* a = NodeOrNull(x->left_adj)) fn(a, &a->right_adj);
-  if (BatonNode* a = NodeOrNull(x->right_adj)) fn(a, &a->left_adj);
-  for (int side = 0; side < 2; ++side) {
-    RoutingTable& rt = side == 0 ? x->left_rt : x->right_rt;
-    for (int i = 0; i < rt.size(); ++i) {
-      if (!rt.entry(i).valid()) continue;
-      BatonNode* nb = N(rt.entry(i).peer);
-      RoutingTable& back = side == 0 ? nb->right_rt : nb->left_rt;
-      if (i < back.size() && back.entry(i).peer == x->id) {
-        fn(nb, &back.entry(i));
-      }
+  out.reserve(size());
+  if (size() == 0) return out;
+  std::vector<std::pair<Position, PeerId>> path;  // stack: depth <= height+1
+  path.reserve(static_cast<size_t>(height_ + 2));
+  Position cur = Position::Root();
+  PeerId occ = OccupantOf(cur);
+  while (occ != kNullPeer || !path.empty()) {
+    while (occ != kNullPeer) {
+      path.emplace_back(cur, occ);
+      cur = cur.LeftChild();
+      occ = OccupantOf(cur);
     }
+    const auto& [pos, id] = path.back();
+    out.push_back(id);
+    cur = pos.RightChild();
+    path.pop_back();
+    occ = OccupantOf(cur);
   }
+  BATON_CHECK_EQ(out.size(), size())
+      << "directory holds entries unreachable from the root (orphan)";
+  return out;
 }
 
 void BatonNetwork::ApplyRefUpdate(PeerId holder_id, RefKind kind, int slot,

@@ -17,7 +17,6 @@
 #define BATON_BATON_BATON_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "replication/replication.h"
+#include "util/flat_map.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -152,12 +152,19 @@ class BatonNetwork {
   PeerId root() const { return OccupantOf(Position::Root()); }
   const BatonNode& node(PeerId p) const;
   bool InOverlay(PeerId p) const;
-  /// All overlay members in in-order (key-space) order.
+  /// All overlay members in in-order (key-space) order: an O(N) in-order
+  /// walk of the position directory (no sort), so it stays correct even
+  /// when cached adjacency links are stale under churn.
   std::vector<PeerId> Members() const;
   /// Occupant of a tree position, or kNullPeer.
-  PeerId OccupantOf(const Position& pos) const;
-  /// Height of the tree (root = level 0); -1 when empty.
-  int Height() const;
+  PeerId OccupantOf(const Position& pos) const {
+    const PeerId* p = pos_index_.Find(pos.Packed());
+    return p == nullptr ? kNullPeer : *p;
+  }
+  /// Height of the tree (root = level 0); -1 when empty. O(1): maintained
+  /// incrementally from the per-level occupancy counts (it sits inside the
+  /// routing hop budget, so it runs on every search).
+  int Height() const { return height_; }
   uint64_t total_keys() const { return total_keys_; }
 
   /// Validates every structural invariant (balance, Theorem 1/2, adjacency,
@@ -246,9 +253,34 @@ class BatonNetwork {
   /// Calls fn(holder, ref) for every link in the overlay pointing at x
   /// (parent's child ref, children's parent refs, adjacents' refs, reverse
   /// routing-table entries), discovered through x's own links. Immediate
-  /// mode only (holds raw pointers).
-  void ForEachInboundRef(BatonNode* x,
-                         const std::function<void(BatonNode*, NodeRef*)>& fn);
+  /// mode only (holds raw pointers). Static visitor: runs on every
+  /// join/leave/relocation, so the callback must not cost an allocation.
+  template <typename Fn>
+  void ForEachInboundRef(BatonNode* x, Fn&& fn) {
+    // The holders of links to x are exactly the targets of x's own symmetric
+    // links: its parent, children, two adjacent nodes, and the same-level
+    // nodes in its routing tables (whose opposite-side entry at the same
+    // slot points back at x, by construction).
+    if (BatonNode* p = NodeOrNull(x->parent)) {
+      NodeRef* ref = x->pos.IsLeftChild() ? &p->left_child : &p->right_child;
+      fn(p, ref);
+    }
+    if (BatonNode* c = NodeOrNull(x->left_child)) fn(c, &c->parent);
+    if (BatonNode* c = NodeOrNull(x->right_child)) fn(c, &c->parent);
+    if (BatonNode* a = NodeOrNull(x->left_adj)) fn(a, &a->right_adj);
+    if (BatonNode* a = NodeOrNull(x->right_adj)) fn(a, &a->left_adj);
+    for (int side = 0; side < 2; ++side) {
+      RoutingTable& rt = side == 0 ? x->left_rt : x->right_rt;
+      for (int i = 0; i < rt.size(); ++i) {
+        if (!rt.entry(i).valid()) continue;
+        BatonNode* nb = N(rt.entry(i).peer);
+        RoutingTable& back = side == 0 ? nb->right_rt : nb->left_rt;
+        if (i < back.size() && back.entry(i).peer == x->id) {
+          fn(nb, &back.entry(i));
+        }
+      }
+    }
+  }
   /// Refreshes cached metadata (pos/range/child bits) about x at every
   /// holder, charging one `charge` message per holder.
   void RefreshInboundRefs(BatonNode* x, net::MsgType charge);
@@ -385,7 +417,21 @@ class BatonNetwork {
   Rng rng_;
 
   std::vector<std::unique_ptr<BatonNode>> nodes_;
-  std::unordered_map<uint64_t, PeerId> pos_index_;  // Position::Packed -> id
+  /// Position::Packed -> id. Open-addressing flat map: probed on every
+  /// routing hop and restructure step, so it must not chase node pointers.
+  util::FlatMap64<PeerId> pos_index_;
+  /// Occupied positions per level; level_counts_[l] drives the O(1)
+  /// height_ maintenance in IndexPosition/UnindexPosition.
+  std::vector<uint32_t> level_counts_;
+  int height_ = -1;
+  /// Maintained only under config_.enable_recruit_directory (the skip-list
+  /// load-directory extension, off by default): the directory's
+  /// lightest-leaf tie-break follows this container's enumeration order, and
+  /// the recruit-directory ablation figures were recorded against
+  /// unordered_map enumeration. Keeping the legacy container for that one
+  /// cold path preserves those tables bit-for-bit while every routing-hop
+  /// probe goes through the flat pos_index_.
+  std::unordered_map<uint64_t, PeerId> recruit_dir_;
   std::vector<PeerId> failed_;
 
   uint64_t total_keys_ = 0;

@@ -2,8 +2,6 @@
 // acceptance phase splits content, fixes adjacent links and constructs the
 // new node's routing tables with the message pattern the paper bounds by
 // 2*L1 + 2*L2 + 2*L2 + 1 < 6 log N.
-#include <unordered_set>
-
 #include "baton/baton_network.h"
 
 namespace baton {
@@ -254,7 +252,7 @@ void BatonNetwork::BuildChildTables(BatonNode* x, BatonNode* y) {
   // parent in x's routing table (or it is x itself). x contacts each such
   // parent once; the parent forwards to its relevant child; the child
   // replies to y, installing the symmetric entries.
-  std::unordered_set<PeerId> contacted;
+  util::FlatSet64 contacted;
   for (int side = 0; side < 2; ++side) {
     bool left = side == 0;
     RoutingTable& rt = left ? y->left_rt : y->right_rt;
@@ -275,7 +273,7 @@ void BatonNetwork::BuildChildTables(BatonNode* x, BatonNode* y) {
           continue;  // q's parent absent => q unoccupied (Theorem 2)
         }
         q_parent = N(xrt.entry(slot).peer);
-        if (contacted.insert(q_parent->id).second) {
+        if (contacted.Insert(q_parent->id)) {
           Count(x->id, q_parent->id, net::MsgType::kTableBuild);
           // Piggyback x's new range/child bits on this contact.
           int back_slot = slot;

@@ -74,47 +74,69 @@ size_t KeyBag::CountInRange(Key lo, Key hi) const {
   return static_cast<size_t>(last - first);
 }
 
+KeyBag KeyBag::ExtractPrefix(size_t count) {
+  // Hand the whole vector to the extracted bag and keep a copy of the
+  // suffix: one copy of the surviving side, instead of copying the prefix
+  // AND shifting the suffix down (erase) as the naive split would.
+  KeyBag out;
+  if (count == 0) return out;  // keep the empty split an O(1) no-op
+  out.sorted_ = std::move(sorted_);
+  sorted_.assign(out.sorted_.begin() + static_cast<ptrdiff_t>(count),
+                 out.sorted_.end());
+  out.sorted_.resize(count);
+  return out;
+}
+
+KeyBag KeyBag::ExtractSuffix(size_t from) {
+  // The suffix moves out, the prefix stays in place: no element shifts.
+  KeyBag out;
+  if (from == sorted_.size()) return out;  // empty split: O(1) no-op
+  out.sorted_.assign(sorted_.begin() + static_cast<ptrdiff_t>(from),
+                     sorted_.end());
+  sorted_.resize(from);
+  return out;
+}
+
 KeyBag KeyBag::ExtractBelow(Key pivot) {
   Flush();
   auto split = std::lower_bound(sorted_.begin(), sorted_.end(), pivot);
-  KeyBag out;
-  out.sorted_.assign(sorted_.begin(), split);
-  sorted_.erase(sorted_.begin(), split);
-  return out;
+  return ExtractPrefix(static_cast<size_t>(split - sorted_.begin()));
 }
 
 KeyBag KeyBag::ExtractAtLeast(Key pivot) {
   Flush();
   auto split = std::lower_bound(sorted_.begin(), sorted_.end(), pivot);
-  KeyBag out;
-  out.sorted_.assign(split, sorted_.end());
-  sorted_.erase(split, sorted_.end());
-  return out;
+  return ExtractSuffix(static_cast<size_t>(split - sorted_.begin()));
 }
 
 KeyBag KeyBag::ExtractLowest(size_t count) {
   Flush();
-  count = std::min(count, sorted_.size());
-  KeyBag out;
-  out.sorted_.assign(sorted_.begin(), sorted_.begin() + count);
-  sorted_.erase(sorted_.begin(), sorted_.begin() + count);
-  return out;
+  return ExtractPrefix(std::min(count, sorted_.size()));
 }
 
 KeyBag KeyBag::ExtractHighest(size_t count) {
   Flush();
-  count = std::min(count, sorted_.size());
-  KeyBag out;
-  out.sorted_.assign(sorted_.end() - count, sorted_.end());
-  sorted_.erase(sorted_.end() - count, sorted_.end());
-  return out;
+  return ExtractSuffix(sorted_.size() - std::min(count, sorted_.size()));
 }
 
 void KeyBag::Absorb(KeyBag* other) {
-  other->Flush();
-  for (Key k : other->sorted_) pending_.push_back(k);
-  other->sorted_.clear();
+  // Both sides are sorted after their flushes: merge directly instead of
+  // dumping `other` into pending_ and re-sorting keys that were already in
+  // order (the old path sorted the absorbed keys twice).
+  BATON_CHECK(other != this) << "a bag cannot absorb itself";
   Flush();
+  other->Flush();
+  if (other->sorted_.empty()) return;
+  if (sorted_.empty()) {
+    sorted_ = std::move(other->sorted_);
+  } else {
+    std::vector<Key> merged;
+    merged.reserve(sorted_.size() + other->sorted_.size());
+    std::merge(sorted_.begin(), sorted_.end(), other->sorted_.begin(),
+               other->sorted_.end(), std::back_inserter(merged));
+    sorted_ = std::move(merged);
+  }
+  other->sorted_.clear();
 }
 
 const std::vector<Key>& KeyBag::SortedKeys() const {

@@ -47,6 +47,10 @@ class KeyBag {
 
  private:
   void Flush() const;  // merges pending_ into sorted_
+  /// Splits a flushed bag at index `count`/`from`; the side that stays is
+  /// the only one copied (see key_bag.cc for the asymmetry).
+  KeyBag ExtractPrefix(size_t count);
+  KeyBag ExtractSuffix(size_t from);
 
   // Lazily merged; mutable so const readers can flush.
   mutable std::vector<Key> sorted_;

@@ -148,8 +148,12 @@ BatonNode* BatonNetwork::DirectoryFindLightLeaf(BatonNode* asker,
   for (int i = 0; i < hops; ++i) {
     Count(asker->id, asker->id, net::MsgType::kLoadProbe);
   }
+  // The lightest-leaf tie-break follows the directory's enumeration order;
+  // recruit_dir_ (maintained only while this extension is enabled) keeps the
+  // enumeration the recruit-directory figures were recorded against.
+  BATON_CHECK(config_.enable_recruit_directory);
   BatonNode* best = nullptr;
-  for (const auto& [packed, id] : pos_index_) {
+  for (const auto& [packed, id] : recruit_dir_) {
     BatonNode* f = N(id);
     if (!f->IsLeaf() || !net_->IsAlive(id) || f->id == asker->id) continue;
     if (f->data.size() >= light_cap) continue;

@@ -17,8 +17,6 @@
 // node order -- and hence the range partitioning -- is preserved. Each mover
 // pays O(log N) messages to rebuild its routing tables and notify the links
 // caching its old coordinates.
-#include <unordered_set>
-
 #include "baton/baton_network.h"
 
 namespace baton {
@@ -132,10 +130,10 @@ bool BatonNetwork::TryBuildVacancyChain(const Position& vacated,
 void BatonNetwork::RelocateNodes(const std::vector<Move>& moves) {
   BATON_CHECK(!moves.empty());
   // Phase 1: vacate old positions (a fresh joiner holds none yet).
-  std::unordered_set<uint64_t> old_positions;
+  util::FlatSet64 old_positions;
   for (const Move& m : moves) {
     if (OccupantOf(m.node->pos) == m.node->id) {
-      old_positions.insert(m.node->pos.Packed());
+      old_positions.Insert(m.node->pos.Packed());
       UnindexPosition(m.node);
     }
   }
@@ -144,13 +142,13 @@ void BatonNetwork::RelocateNodes(const std::vector<Move>& moves) {
   // child and must notify their cachers afterwards.
   std::vector<Position> created_positions;
   for (const Move& m : moves) {
-    if (old_positions.count(m.to.Packed()) == 0 &&
+    if (!old_positions.Contains(m.to.Packed()) &&
         OccupantOf(m.to) == kNullPeer) {
       created_positions.push_back(m.to);
     }
     m.node->SetPosition(m.to);
     IndexPosition(m.node);
-    old_positions.erase(m.to.Packed());
+    old_positions.Erase(m.to.Packed());
   }
 
   // Phase 3: each mover re-binds its vertical links and rebuilds its tables.
@@ -220,7 +218,7 @@ void BatonNetwork::RelocateNodes(const std::vector<Move>& moves) {
   // Phase 5: at most one slot was vacated for good (vacancy chains); clear
   // the stale links pointing at it.
   BATON_CHECK_LE(old_positions.size(), 1u);
-  for (uint64_t packed : old_positions) {
+  old_positions.ForEach([&](uint64_t packed) {
     Position vacated{static_cast<uint32_t>(packed >> 52),
                      packed & ((uint64_t{1} << 52) - 1)};
     PeerId notifier = moves.back().node->id;
@@ -237,7 +235,7 @@ void BatonNetwork::RelocateNodes(const std::vector<Move>& moves) {
       }
     }
     ClearReverseEntriesAt(vacated, notifier, /*charge=*/true);
-  }
+  });
 }
 
 }  // namespace baton

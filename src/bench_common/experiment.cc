@@ -1,5 +1,6 @@
 #include "bench_common/experiment.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +9,111 @@ namespace baton {
 namespace bench {
 
 namespace {
+
+// ---- JSON mirror (--json=PATH) --------------------------------------------
+// One JSON array per process; rows accumulate across Emit calls. The file is
+// opened eagerly by SetJsonMirror (a bad path must fail before any bench
+// work runs) and is kept VALID JSON after every flush: each mirror call
+// seeks back over the closing "]" it wrote last time, appends its rows, and
+// re-terminates the array. A CHECK abort mid-bench (which skips atexit
+// handlers) therefore leaves a parseable artifact holding every row
+// emitted so far.
+
+struct JsonMirror {
+  std::string path;
+  std::FILE* file = nullptr;
+  bool any_rows = false;
+  long body_end = 0;  // offset just past the last row (before "\n]\n")
+};
+JsonMirror g_json;
+
+void CloseJsonMirror() {
+  if (g_json.file == nullptr) return;
+  // The array terminator is already on disk; just release the handle.
+  std::fclose(g_json.file);
+  g_json.file = nullptr;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True when the cell can be emitted as a JSON number verbatim (the strict
+/// JSON grammar: optional minus, integer part, optional fraction/exponent).
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+    return false;
+  }
+  // JSON forbids leading zeros ("007"); such cells must stay quoted or the
+  // whole mirror file becomes unparseable.
+  if (s[i] == '0' && i + 1 < s.size() &&
+      std::isdigit(static_cast<unsigned char>(s[i + 1]))) {
+    return false;
+  }
+  bool seen_dot = false, seen_exp = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) continue;
+    if (c == '.' && !seen_dot && !seen_exp) {
+      seen_dot = true;
+      if (i + 1 == s.size()) return false;  // "1." is not JSON
+      continue;
+    }
+    if ((c == 'e' || c == 'E') && !seen_exp && i + 1 < s.size()) {
+      seen_exp = true;
+      if (s[i + 1] == '+' || s[i + 1] == '-') ++i;
+      if (i + 1 == s.size()) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void MirrorTableToJson(const std::string& title, const TablePrinter& table) {
+  if (g_json.file == nullptr) return;
+  std::fseek(g_json.file, g_json.body_end, SEEK_SET);
+  const auto& headers = table.headers();
+  for (const auto& row : table.rows()) {
+    std::fprintf(g_json.file, "%s\n  {\"table\": \"%s\"",
+                 g_json.any_rows ? "," : "", JsonEscape(title).c_str());
+    g_json.any_rows = true;
+    for (size_t c = 0; c < headers.size() && c < row.size(); ++c) {
+      if (LooksNumeric(row[c])) {
+        std::fprintf(g_json.file, ", \"%s\": %s",
+                     JsonEscape(headers[c]).c_str(), row[c].c_str());
+      } else {
+        std::fprintf(g_json.file, ", \"%s\": \"%s\"",
+                     JsonEscape(headers[c]).c_str(),
+                     JsonEscape(row[c]).c_str());
+      }
+    }
+    std::fprintf(g_json.file, "}");
+  }
+  g_json.body_end = std::ftell(g_json.file);
+  std::fprintf(g_json.file, "\n]\n");
+  std::fflush(g_json.file);
+}
 
 std::vector<size_t> ParseSizes(const char* arg) {
   std::vector<size_t> out;
@@ -70,6 +176,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "  --latency=MODEL       link latency: const:N or uniform:LO,HI "
       "(ticks);\n"
       "                        enables simulated per-op latency reporting\n"
+      "  --json=PATH           mirror every table into PATH as JSON rows\n"
       "  --help                print this message and exit\n",
       argv0, JoinedRegisteredNames().c_str());
 }
@@ -159,6 +266,14 @@ Options ParseOptions(int argc, char** argv) {
       opt.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
     } else if (std::strncmp(a, "--latency=", 10) == 0) {
       opt.latency = ParseLatencySpec(a + 10);
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      // Last occurrence wins, like every other repeatable flag; the mirror
+      // is opened once, after the loop.
+      opt.json_path = a + 7;
+      if (opt.json_path.empty()) {
+        std::fprintf(stderr, "--json needs a file path\n");
+        std::exit(2);
+      }
     } else if (std::strncmp(a, "--overlay=", 10) == 0) {
       opt.overlays = SplitNames(a + 10);
       if (opt.overlays.empty()) {
@@ -179,6 +294,7 @@ Options ParseOptions(int argc, char** argv) {
       std::exit(2);
     }
   }
+  if (!opt.json_path.empty()) SetJsonMirror(opt.json_path);
   return opt;
 }
 
@@ -275,10 +391,34 @@ uint64_t CategoryDelta(const net::CounterSnapshot& before,
   return sum;
 }
 
+void SetJsonMirror(const std::string& path) {
+  BATON_CHECK(g_json.file == nullptr)
+      << "JSON mirror cannot be re-pointed once open";
+  // Open eagerly: an unwritable path must fail at flag-parse time, not
+  // after a multi-minute sweep has already run.
+  g_json.path = path;
+  g_json.file = std::fopen(path.c_str(), "w");
+  if (g_json.file == nullptr) {
+    std::fprintf(stderr, "cannot open --json file %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(g_json.file, "[");
+  g_json.body_end = std::ftell(g_json.file);
+  std::fprintf(g_json.file, "\n]\n");  // valid (empty) array from the start
+  std::fflush(g_json.file);
+  std::atexit(CloseJsonMirror);
+}
+
 void Emit(const std::string& title, const TablePrinter& table, bool csv) {
   std::printf("== %s ==\n", title.c_str());
   std::printf("%s\n", csv ? table.ToCsv().c_str() : table.ToText().c_str());
   std::fflush(stdout);
+}
+
+void Emit(const std::string& title, const TablePrinter& table,
+          const Options& opt) {
+  Emit(title, table, opt.csv);
+  if (!opt.json_path.empty()) MirrorTableToJson(title, table);
 }
 
 }  // namespace bench

@@ -57,13 +57,26 @@ struct Options {
   /// Link latency model from --latency=...; Kind::kNone leaves the sim
   /// kernel detached.
   LatencySpec latency;
+  /// --json=PATH: mirror every Emit'd table into PATH as a JSON array of
+  /// row objects (see SetJsonMirror). Empty = no mirror.
+  std::string json_path;
 };
 
 /// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
 /// --sizes=a,b,c, --seed=S, --overlay=name[,name...],
-/// --latency=const:N|uniform:LO,HI, --help (prints usage, exits 0). Unknown
-/// flags print the usage and exit 2.
+/// --latency=const:N|uniform:LO,HI, --json=PATH, --help (prints usage,
+/// exits 0). Unknown flags print the usage and exit 2.
 Options ParseOptions(int argc, char** argv);
+
+/// Routes every subsequent Emit into a JSON mirror at `path` (in addition
+/// to stdout): the file holds one JSON array whose elements are row objects
+/// {"table": <title>, "<header>": <cell>, ...}; numeric-looking cells are
+/// emitted as JSON numbers. The file is created immediately (so a bad path
+/// fails fast, before any bench work runs) and the array is closed at
+/// process exit. Called by ParseOptions for --json=PATH; benches with a
+/// canonical output file (bench_wallclock) call it directly with their
+/// default path.
+void SetJsonMirror(const std::string& path);
 
 /// The backends a multi-backend bench should run: opt.overlays when given,
 /// otherwise every registered backend.
@@ -163,6 +176,13 @@ uint64_t CategoryDelta(const net::CounterSnapshot& before,
 
 /// Prints a titled table (text or CSV per options).
 void Emit(const std::string& title, const TablePrinter& table, bool csv);
+
+/// Prints a titled table and, when opt.json_path is set (--json=PATH, or
+/// a bench default installed via SetJsonMirror), mirrors its rows into the
+/// JSON file. The bool overload never mirrors; use it for tables that must
+/// stay out of the machine-readable artifact.
+void Emit(const std::string& title, const TablePrinter& table,
+          const Options& opt);
 
 }  // namespace bench
 }  // namespace baton

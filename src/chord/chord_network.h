@@ -13,12 +13,12 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "baton/key_bag.h"
 #include "baton/types.h"
 #include "net/network.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -111,7 +111,7 @@ class ChordNetwork {
   uint64_t salt_;
   std::vector<std::unique_ptr<ChordNode>> nodes_;
   std::vector<PeerId> members_;  // kept sorted by chord_id
-  std::unordered_set<ChordId> used_ids_;  // collision re-hash (never reused)
+  util::FlatSet64 used_ids_;  // collision re-hash (never reused)
   uint64_t total_keys_ = 0;
 };
 

@@ -123,14 +123,6 @@ std::string Network::CounterReport() const {
   return out.str();
 }
 
-void Network::Apply(std::function<void()> fn) {
-  if (defer_updates_) {
-    deferred_.push_back(std::move(fn));
-  } else {
-    fn();
-  }
-}
-
 size_t Network::FlushDeferred() {
   size_t n = 0;
   // Updates queued while flushing run too (they model follow-on repairs).

@@ -128,8 +128,19 @@ class Network {
   /// joining or leaving nodes".
   void SetDeferUpdates(bool defer) { defer_updates_ = defer; }
   bool defer_updates() const { return defer_updates_; }
-  /// Run `fn` now, or queue it if updates are deferred.
-  void Apply(std::function<void()> fn);
+  /// Run `fn` now, or queue it if updates are deferred. Immediate mode (the
+  /// overwhelmingly common path: deferral is only on during the Fig. 8(i)
+  /// dynamics windows) invokes the closure in place -- no std::function is
+  /// constructed, so the call never allocates. Only the deferred path pays
+  /// for type erasure; its queue semantics are unchanged.
+  template <typename Fn>
+  void Apply(Fn&& fn) {
+    if (defer_updates_) {
+      deferred_.emplace_back(std::forward<Fn>(fn));
+    } else {
+      fn();
+    }
+  }
   /// Deliver all queued updates (in order); returns how many ran.
   size_t FlushDeferred();
   size_t deferred_pending() const { return deferred_.size(); }

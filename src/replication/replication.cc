@@ -23,22 +23,21 @@ void ReplicationManager::SyncRecord(net::PeerId sender,
 }
 
 void ReplicationManager::IndexHolder(net::PeerId holder, net::PeerId primary) {
-  held_for_[holder].push_back(primary);
+  held_for_.GetOrInsert(holder).push_back(primary);
 }
 
 void ReplicationManager::UnindexHolder(net::PeerId holder,
                                        net::PeerId primary) {
-  auto it = held_for_.find(holder);
-  if (it == held_for_.end()) return;
-  std::vector<net::PeerId>& v = it->second;
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (v[i] == primary) {
-      v[i] = v.back();
-      v.pop_back();
+  std::vector<net::PeerId>* v = held_for_.Find(holder);
+  if (v == nullptr) return;
+  for (size_t i = 0; i < v->size(); ++i) {
+    if ((*v)[i] == primary) {
+      (*v)[i] = v->back();
+      v->pop_back();
       break;
     }
   }
-  if (v.empty()) held_for_.erase(it);
+  if (v->empty()) held_for_.Erase(holder);
 }
 
 void ReplicationManager::PruneDeadHolders(net::PeerId primary,
@@ -79,7 +78,7 @@ void ReplicationManager::FullSync(net::PeerId primary, const KeyBag& data,
                                   net::PeerId sender) {
   if (!enabled()) return;
   if (sender == net::kNullPeer) sender = primary;
-  PrimaryState& st = primaries_[primary];
+  PrimaryState& st = primaries_.GetOrInsert(primary);
   ++st.version;  // the bag changed in bulk: every copy is now stale
   PruneDeadHolders(primary, &st);
   for (ReplicaRecord& rec : st.replicas) {
@@ -90,7 +89,7 @@ void ReplicationManager::FullSync(net::PeerId primary, const KeyBag& data,
 
 void ReplicationManager::PushInsert(net::PeerId primary, Key k) {
   if (!enabled()) return;
-  PrimaryState& st = primaries_[primary];
+  PrimaryState& st = primaries_.GetOrInsert(primary);
   ++st.version;
   if (!config_.eager_push) return;
   for (ReplicaRecord& rec : st.replicas) {
@@ -103,7 +102,7 @@ void ReplicationManager::PushInsert(net::PeerId primary, Key k) {
 
 void ReplicationManager::PushErase(net::PeerId primary, Key k) {
   if (!enabled()) return;
-  PrimaryState& st = primaries_[primary];
+  PrimaryState& st = primaries_.GetOrInsert(primary);
   ++st.version;
   if (!config_.eager_push) return;
   for (ReplicaRecord& rec : st.replicas) {
@@ -117,30 +116,30 @@ void ReplicationManager::PushErase(net::PeerId primary, Key k) {
 void ReplicationManager::DropPrimary(net::PeerId primary, net::PeerId notifier,
                                      bool charge) {
   if (!enabled()) return;
-  auto it = primaries_.find(primary);
-  if (it == primaries_.end()) return;
-  for (const ReplicaRecord& rec : it->second.replicas) {
+  PrimaryState* st = primaries_.Find(primary);
+  if (st == nullptr) return;
+  for (const ReplicaRecord& rec : st->replicas) {
     if (charge && net_->IsAlive(rec.holder)) {
       net_->Count(notifier, rec.holder, net::MsgType::kReplicaDrop);
     }
     UnindexHolder(rec.holder, primary);
   }
-  primaries_.erase(it);
+  primaries_.Erase(primary);
 }
 
 std::vector<net::PeerId> ReplicationManager::ReleaseHolder(
     net::PeerId holder) {
   std::vector<net::PeerId> affected;
   if (!enabled()) return affected;
-  auto it = held_for_.find(holder);
-  if (it == held_for_.end()) return affected;
-  affected = std::move(it->second);
-  held_for_.erase(it);
+  std::vector<net::PeerId>* held_list = held_for_.Find(holder);
+  if (held_list == nullptr) return affected;
+  affected = std::move(*held_list);
+  held_for_.Erase(holder);
   for (net::PeerId primary : affected) {
-    auto pit = primaries_.find(primary);
-    if (pit == primaries_.end()) continue;
+    PrimaryState* pst = primaries_.Find(primary);
+    if (pst == nullptr) continue;
     auto held = [&](const ReplicaRecord& r) { return r.holder == holder; };
-    std::vector<ReplicaRecord>& reps = pit->second.replicas;
+    std::vector<ReplicaRecord>& reps = pst->replicas;
     reps.erase(std::remove_if(reps.begin(), reps.end(), held), reps.end());
   }
   return affected;
@@ -148,18 +147,18 @@ std::vector<net::PeerId> ReplicationManager::ReleaseHolder(
 
 std::vector<net::PeerId> ReplicationManager::HeldPrimaries(
     net::PeerId holder) const {
-  auto it = held_for_.find(holder);
-  return it == held_for_.end() ? std::vector<net::PeerId>{} : it->second;
+  const std::vector<net::PeerId>* v = held_for_.Find(holder);
+  return v == nullptr ? std::vector<net::PeerId>{} : *v;
 }
 
 bool ReplicationManager::RelocateReplica(
     net::PeerId primary, net::PeerId from,
     const std::vector<net::PeerId>& candidates) {
   if (!enabled()) return false;
-  auto pit = primaries_.find(primary);
-  if (pit == primaries_.end()) return false;
+  PrimaryState* pst = primaries_.Find(primary);
+  if (pst == nullptr) return false;
   ReplicaRecord* rec = nullptr;
-  for (ReplicaRecord& r : pit->second.replicas) {
+  for (ReplicaRecord& r : pst->replicas) {
     if (r.holder == from) rec = &r;
   }
   if (rec == nullptr) return false;
@@ -167,7 +166,7 @@ bool ReplicationManager::RelocateReplica(
   for (net::PeerId cand : candidates) {
     if (cand == primary || cand == from || !net_->IsAlive(cand)) continue;
     bool already = false;
-    for (const ReplicaRecord& r : pit->second.replicas) {
+    for (const ReplicaRecord& r : pst->replicas) {
       if (r.holder == cand) already = true;
     }
     if (!already) {
@@ -179,7 +178,7 @@ bool ReplicationManager::RelocateReplica(
   if (dest == net::kNullPeer) {
     // Nowhere to hand off: the copy leaves with the holder.
     auto held = [&](const ReplicaRecord& r) { return r.holder == from; };
-    std::vector<ReplicaRecord>& reps = pit->second.replicas;
+    std::vector<ReplicaRecord>& reps = pst->replicas;
     reps.erase(std::remove_if(reps.begin(), reps.end(), held), reps.end());
     return false;
   }
@@ -192,7 +191,7 @@ bool ReplicationManager::RelocateReplica(
 size_t ReplicationManager::TopUp(net::PeerId primary, const KeyBag& data,
                                  const std::vector<net::PeerId>& candidates) {
   if (!enabled()) return 0;
-  PrimaryState& st = primaries_[primary];
+  PrimaryState& st = primaries_.GetOrInsert(primary);
   PruneDeadHolders(primary, &st);
   return TopUpHolders(primary, primary, &st, data, candidates);
 }
@@ -200,10 +199,10 @@ size_t ReplicationManager::TopUp(net::PeerId primary, const KeyBag& data,
 bool ReplicationManager::Restore(net::PeerId failed, net::PeerId initiator,
                                  KeyBag* out) {
   if (!enabled()) return false;
-  auto it = primaries_.find(failed);
-  if (it == primaries_.end()) return false;
+  const PrimaryState* st = primaries_.Find(failed);
+  if (st == nullptr) return false;
   const ReplicaRecord* best = nullptr;
-  for (const ReplicaRecord& rec : it->second.replicas) {
+  for (const ReplicaRecord& rec : st->replicas) {
     if (!net_->IsAlive(rec.holder)) continue;
     if (best == nullptr || rec.version > best->version) best = &rec;
   }
@@ -219,7 +218,7 @@ RepairStats ReplicationManager::Repair(
     const std::vector<net::PeerId>& candidates) {
   RepairStats stats;
   if (!enabled()) return stats;
-  PrimaryState& st = primaries_[primary];
+  PrimaryState& st = primaries_.GetOrInsert(primary);
   PruneDeadHolders(primary, &st);
   for (ReplicaRecord& rec : st.replicas) {
     net_->Count(primary, rec.holder, net::MsgType::kReplicaProbe);
@@ -235,31 +234,31 @@ RepairStats ReplicationManager::Repair(
 }
 
 size_t ReplicationManager::replica_count(net::PeerId primary) const {
-  auto it = primaries_.find(primary);
-  return it == primaries_.end() ? 0 : it->second.replicas.size();
+  const PrimaryState* st = primaries_.Find(primary);
+  return st == nullptr ? 0 : st->replicas.size();
 }
 
 size_t ReplicationManager::live_replica_count(net::PeerId primary) const {
-  auto it = primaries_.find(primary);
-  if (it == primaries_.end()) return 0;
+  const PrimaryState* st = primaries_.Find(primary);
+  if (st == nullptr) return 0;
   size_t live = 0;
-  for (const ReplicaRecord& rec : it->second.replicas) {
+  for (const ReplicaRecord& rec : st->replicas) {
     if (net_->IsAlive(rec.holder)) ++live;
   }
   return live;
 }
 
 uint64_t ReplicationManager::version_of(net::PeerId primary) const {
-  auto it = primaries_.find(primary);
-  return it == primaries_.end() ? 0 : it->second.version;
+  const PrimaryState* st = primaries_.Find(primary);
+  return st == nullptr ? 0 : st->version;
 }
 
 std::vector<net::PeerId> ReplicationManager::HoldersOf(
     net::PeerId primary) const {
   std::vector<net::PeerId> out;
-  auto it = primaries_.find(primary);
-  if (it == primaries_.end()) return out;
-  for (const ReplicaRecord& rec : it->second.replicas) {
+  const PrimaryState* st = primaries_.Find(primary);
+  if (st == nullptr) return out;
+  for (const ReplicaRecord& rec : st->replicas) {
     out.push_back(rec.holder);
   }
   return out;
@@ -267,9 +266,9 @@ std::vector<net::PeerId> ReplicationManager::HoldersOf(
 
 const KeyBag* ReplicationManager::ReplicaAt(net::PeerId primary,
                                             net::PeerId holder) const {
-  auto it = primaries_.find(primary);
-  if (it == primaries_.end()) return nullptr;
-  for (const ReplicaRecord& rec : it->second.replicas) {
+  const PrimaryState* st = primaries_.Find(primary);
+  if (st == nullptr) return nullptr;
+  for (const ReplicaRecord& rec : st->replicas) {
     if (rec.holder == holder) return &rec.keys;
   }
   return nullptr;
@@ -277,19 +276,19 @@ const KeyBag* ReplicationManager::ReplicaAt(net::PeerId primary,
 
 uint64_t ReplicationManager::total_replica_keys() const {
   uint64_t total = 0;
-  for (const auto& [primary, st] : primaries_) {
+  primaries_.ForEach([&total](uint64_t, const PrimaryState& st) {
     for (const ReplicaRecord& rec : st.replicas) {
       total += rec.keys.size();
     }
-  }
+  });
   return total;
 }
 
 void ReplicationManager::CheckConsistent(net::PeerId primary,
                                          const KeyBag& data) const {
-  auto it = primaries_.find(primary);
-  if (it == primaries_.end()) return;
-  const PrimaryState& st = it->second;
+  const PrimaryState* stp = primaries_.Find(primary);
+  if (stp == nullptr) return;
+  const PrimaryState& st = *stp;
   for (const ReplicaRecord& rec : st.replicas) {
     BATON_CHECK_LE(rec.version, st.version)
         << "replica of " << primary << " at " << rec.holder

@@ -21,13 +21,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "baton/key_bag.h"
 #include "baton/types.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "util/flat_map.h"
 
 namespace baton {
 namespace replication {
@@ -195,9 +195,14 @@ class ReplicationManager {
 
   ReplicationConfig config_;
   net::Network* net_;
-  std::unordered_map<net::PeerId, PrimaryState> primaries_;
+  /// Keyed by primary peer id. Flat open-addressing maps (util/flat_map.h):
+  /// probed on every insert/erase push when replication is on, and never
+  /// iterated in an order-sensitive way (the only traversal is an
+  /// order-independent sum), so the container swap cannot perturb message
+  /// counts.
+  util::FlatMap64<PrimaryState> primaries_;
   // holder -> primaries whose replica it currently holds.
-  std::unordered_map<net::PeerId, std::vector<net::PeerId>> held_for_;
+  util::FlatMap64<std::vector<net::PeerId>> held_for_;
 };
 
 }  // namespace replication

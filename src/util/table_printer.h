@@ -23,6 +23,11 @@ class TablePrinter {
   /// Render as CSV (headers + rows).
   std::string ToCsv() const;
 
+  /// Raw cells, for alternative renderers (e.g. the bench harness's JSON
+  /// mirror).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,180 @@
+// Unit tests for util::FlatMap64 / util::FlatSet64, the open-addressing
+// containers behind the position directory and the replication indexes:
+// insert/find/erase semantics, rehash growth, tombstone reuse and in-place
+// reclamation, plus a randomized differential test against
+// std::unordered_map over mixed op sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace baton {
+namespace util {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_TRUE(m.Insert(7, 70));
+  EXPECT_FALSE(m.Insert(7, 71)) << "duplicate insert must be rejected";
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 70) << "rejected insert must not overwrite";
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Erase(7));
+  EXPECT_FALSE(m.Erase(7));
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, GetOrInsertDefaultConstructs) {
+  FlatMap64<std::vector<int>> m;
+  m.GetOrInsert(3).push_back(1);
+  m.GetOrInsert(3).push_back(2);
+  ASSERT_NE(m.Find(3), nullptr);
+  EXPECT_EQ(m.Find(3)->size(), 2u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, GrowsThroughManyInserts) {
+  FlatMap64<uint64_t> m;
+  for (uint64_t k = 0; k < 10000; ++k) EXPECT_TRUE(m.Insert(k * 977, k));
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(m.Find(k * 977), nullptr) << k;
+    EXPECT_EQ(*m.Find(k * 977), k);
+  }
+  EXPECT_EQ(m.Find(977 * 10001), nullptr);
+}
+
+TEST(FlatMap, TombstoneSlotsAreReused) {
+  FlatMap64<int> m;
+  m.Reserve(64);
+  size_t cap = m.Capacity();
+  // Churn far more keys through the table than its capacity: erased slots
+  // must be reused (directly or via in-place reclamation) without the value
+  // set ever exceeding the reserved load.
+  for (uint64_t k = 0; k < 10 * cap; ++k) {
+    EXPECT_TRUE(m.Insert(k, static_cast<int>(k)));
+    EXPECT_TRUE(m.Erase(k));
+  }
+  EXPECT_EQ(m.size(), 0u);
+  // The table may have rehashed in place to purge tombstones, but must not
+  // have ballooned: 10x capacity worth of dead keys fits in the same table.
+  EXPECT_LE(m.Capacity(), cap) << "erase churn must not grow the table";
+}
+
+TEST(FlatMap, InsertReusesTombstoneOfErasedKey) {
+  FlatMap64<int> m;
+  m.Reserve(16);
+  EXPECT_TRUE(m.Insert(5, 50));
+  EXPECT_TRUE(m.Erase(5));
+  EXPECT_EQ(m.TombstoneCount(), 1u);
+  EXPECT_TRUE(m.Insert(5, 51));
+  EXPECT_EQ(m.TombstoneCount(), 0u) << "re-insert must reclaim the tombstone";
+  EXPECT_EQ(*m.Find(5), 51);
+}
+
+TEST(FlatMap, EraseDropsPayloadEagerly) {
+  FlatMap64<std::vector<int>> m;
+  m.GetOrInsert(1).assign(1000, 7);
+  EXPECT_TRUE(m.Erase(1));
+  // Re-inserting must see a fresh default value, not the stale payload.
+  EXPECT_TRUE(m.GetOrInsert(1).empty());
+}
+
+TEST(FlatMap, ForEachVisitsExactlyLiveEntries) {
+  FlatMap64<int> m;
+  for (uint64_t k = 1; k <= 100; ++k) m.Insert(k, static_cast<int>(k));
+  for (uint64_t k = 1; k <= 100; k += 2) m.Erase(k);  // drop odd keys
+  uint64_t sum = 0;
+  size_t count = 0;
+  m.ForEach([&](uint64_t key, const int& v) {
+    EXPECT_EQ(key % 2, 0u);
+    EXPECT_EQ(static_cast<int>(key), v);
+    sum += key;
+    ++count;
+  });
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(sum, 2550u);  // 2 + 4 + ... + 100
+}
+
+TEST(FlatMap, ReserveAvoidsRehash) {
+  FlatMap64<int> m;
+  m.Reserve(1000);
+  size_t cap = m.Capacity();
+  for (uint64_t k = 0; k < 1000; ++k) m.Insert(k, 1);
+  EXPECT_EQ(m.Capacity(), cap);
+}
+
+TEST(FlatMap, DifferentialAgainstUnorderedMap) {
+  Rng rng(0xf1a7);
+  FlatMap64<uint64_t> m;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (int step = 0; step < 200000; ++step) {
+    // Small key domain so inserts, re-inserts, hits and misses all occur.
+    uint64_t key = rng.NextBelow(512);
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        uint64_t v = rng.Next();
+        EXPECT_EQ(m.Insert(key, v), ref.emplace(key, v).second);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(m.Erase(key), ref.erase(key) > 0);
+        break;
+      case 2: {
+        auto it = ref.find(key);
+        uint64_t* got = m.Find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      default:
+        EXPECT_EQ(m.Contains(key), ref.count(key) > 0);
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+  // Final full-content comparison via ForEach.
+  size_t seen = 0;
+  m.ForEach([&](uint64_t key, const uint64_t& v) {
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+    ++seen;
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet64 s;
+  EXPECT_TRUE(s.Insert(42));
+  EXPECT_FALSE(s.Insert(42));
+  EXPECT_TRUE(s.Contains(42));
+  EXPECT_FALSE(s.Contains(43));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Erase(42));
+  EXPECT_FALSE(s.Erase(42));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, ForEach) {
+  FlatSet64 s;
+  for (uint64_t k = 0; k < 10; ++k) s.Insert(k);
+  s.Erase(3);
+  uint64_t sum = 0;
+  s.ForEach([&](uint64_t k) { sum += k; });
+  EXPECT_EQ(sum, 45u - 3u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace baton

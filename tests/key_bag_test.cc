@@ -137,5 +137,138 @@ TEST(KeyBag, NegativeKeysSupported) {
   EXPECT_EQ(bag.CountInRange(-10, 0), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Differential test: every mutating operation (Insert / Erase / the four
+// Extract* splits / Absorb) against a std::multiset reference, interleaved
+// randomly so extraction hits bags in every flush state (pending buffer
+// empty, partially filled, just merged).
+// ---------------------------------------------------------------------------
+
+std::vector<Key> Sorted(const std::multiset<Key>& ref) {
+  return std::vector<Key>(ref.begin(), ref.end());
+}
+
+TEST(KeyBag, DifferentialMixedOpsAgainstMultiset) {
+  Rng rng(0xbead);
+  KeyBag bag;
+  std::multiset<Key> ref;
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.NextBelow(7)) {
+      case 0: {  // insert (small domain => duplicates are common)
+        Key k = rng.UniformInt(-50, 200);
+        bag.Insert(k);
+        ref.insert(k);
+        break;
+      }
+      case 1: {  // erase one occurrence
+        Key k = rng.UniformInt(-50, 200);
+        bool erased = bag.Erase(k);
+        auto it = ref.find(k);
+        ASSERT_EQ(erased, it != ref.end());
+        if (it != ref.end()) ref.erase(it);
+        break;
+      }
+      case 2: {  // extract strictly-below pivot
+        Key pivot = rng.UniformInt(-60, 210);
+        KeyBag out = bag.ExtractBelow(pivot);
+        std::multiset<Key> ref_out(ref.begin(), ref.lower_bound(pivot));
+        ref.erase(ref.begin(), ref.lower_bound(pivot));
+        ASSERT_EQ(out.SortedKeys(), Sorted(ref_out)) << "step " << step;
+        break;
+      }
+      case 3: {  // extract at-least pivot
+        Key pivot = rng.UniformInt(-60, 210);
+        KeyBag out = bag.ExtractAtLeast(pivot);
+        std::multiset<Key> ref_out(ref.lower_bound(pivot), ref.end());
+        ref.erase(ref.lower_bound(pivot), ref.end());
+        ASSERT_EQ(out.SortedKeys(), Sorted(ref_out)) << "step " << step;
+        break;
+      }
+      case 4: {  // extract count smallest (count may exceed size)
+        size_t count = rng.NextBelow(ref.size() + 4);
+        KeyBag out = bag.ExtractLowest(count);
+        std::multiset<Key> ref_out;
+        for (size_t i = 0; i < count && !ref.empty(); ++i) {
+          ref_out.insert(*ref.begin());
+          ref.erase(ref.begin());
+        }
+        ASSERT_EQ(out.SortedKeys(), Sorted(ref_out)) << "step " << step;
+        break;
+      }
+      case 5: {  // extract count largest (count may exceed size)
+        size_t count = rng.NextBelow(ref.size() + 4);
+        KeyBag out = bag.ExtractHighest(count);
+        std::multiset<Key> ref_out;
+        for (size_t i = 0; i < count && !ref.empty(); ++i) {
+          auto it = std::prev(ref.end());
+          ref_out.insert(*it);
+          ref.erase(it);
+        }
+        ASSERT_EQ(out.SortedKeys(), Sorted(ref_out)) << "step " << step;
+        break;
+      }
+      default: {  // absorb a freshly built bag (sometimes empty)
+        KeyBag other;
+        size_t extra = rng.NextBelow(40);
+        for (size_t i = 0; i < extra; ++i) {
+          Key k = rng.UniformInt(-50, 200);
+          other.Insert(k);
+          ref.insert(k);
+        }
+        bag.Absorb(&other);
+        ASSERT_EQ(other.size(), 0u) << "absorb must drain the source";
+        break;
+      }
+    }
+    ASSERT_EQ(bag.size(), ref.size()) << "step " << step;
+  }
+  EXPECT_EQ(bag.SortedKeys(), Sorted(ref));
+}
+
+TEST(KeyBag, ExtractFromEmptyBag) {
+  KeyBag bag;
+  EXPECT_EQ(bag.ExtractBelow(10).size(), 0u);
+  EXPECT_EQ(bag.ExtractAtLeast(10).size(), 0u);
+  EXPECT_EQ(bag.ExtractLowest(5).size(), 0u);
+  EXPECT_EQ(bag.ExtractHighest(5).size(), 0u);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(KeyBag, ExtractPivotOutsideRange) {
+  // Pivot below every key: ExtractBelow takes nothing, ExtractAtLeast all.
+  KeyBag bag;
+  for (Key k : {10, 20, 30}) bag.Insert(k);
+  EXPECT_EQ(bag.ExtractBelow(5).size(), 0u);
+  EXPECT_EQ(bag.size(), 3u);
+  KeyBag all = bag.ExtractAtLeast(5);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(bag.empty());
+
+  // Pivot above every key: the mirror image.
+  for (Key k : {10, 20, 30}) bag.Insert(k);
+  EXPECT_EQ(bag.ExtractAtLeast(100).size(), 0u);
+  EXPECT_EQ(bag.size(), 3u);
+  KeyBag below = bag.ExtractBelow(100);
+  EXPECT_EQ(below.size(), 3u);
+  EXPECT_TRUE(bag.empty());
+
+  // Count larger than the bag drains it without fault.
+  for (Key k : {10, 20}) bag.Insert(k);
+  EXPECT_EQ(bag.ExtractLowest(99).size(), 2u);
+  for (Key k : {10, 20}) bag.Insert(k);
+  EXPECT_EQ(bag.ExtractHighest(99).size(), 2u);
+}
+
+TEST(KeyBag, AbsorbIntoEmptyAndFromEmpty) {
+  KeyBag a, b;
+  b.Insert(3);
+  b.Insert(1);
+  a.Absorb(&b);  // empty destination takes the source wholesale
+  EXPECT_EQ(a.SortedKeys(), (std::vector<Key>{1, 3}));
+  EXPECT_TRUE(b.empty());
+  a.Absorb(&b);  // absorbing an empty bag is a no-op
+  EXPECT_EQ(a.size(), 2u);
+}
+
 }  // namespace
 }  // namespace baton

@@ -10,13 +10,18 @@
 // costs, and the maintenance (routing-table update) traffic the churn
 // induced. Backends without a capability print "n/a" in that column.
 //
+// Every (backend, N, seed) run is an independent task with its own
+// Instance and network, so --threads=N executes them on a worker pool;
+// samples are aggregated sequentially in task order afterwards, making the
+// output byte-identical to a --threads=1 run.
+//
 // With --latency=const:N|uniform:LO,HI the sim/ event kernel is attached
 // and the search/range latency columns report simulated critical-path ticks
 // (0 when no model is given; the message/hop columns are unaffected).
 //
 //   ./bench_compare_overlays --sizes=200 --seeds=1
-//   ./bench_compare_overlays --overlay=baton,chord --sizes=1000
-//   ./bench_compare_overlays --sizes=500 --latency=uniform:5,20
+//   ./bench_compare_overlays --overlay=baton,chord,d3tree --sizes=1000
+//   ./bench_compare_overlays --sizes=500 --latency=uniform:5,20 --threads=4
 #include <string>
 
 #include "bench_common/experiment.h"
@@ -29,84 +34,116 @@ namespace {
 
 constexpr Key kDomainHi = 1000000000;
 
-struct SeriesStats {
-  RunningStat search_hops, search_msgs, search_lat, range_msgs, range_lat;
-  RunningStat insert_msgs, join_msgs, leave_msgs, maint_msgs;
+/// Samples from one (backend, N, seed) task.
+struct SeedSample {
+  double search_hops = 0, search_msgs = 0, search_lat = 0;
+  double insert_msgs = 0, join_msgs = 0, leave_msgs = 0;
+  double range_msgs = 0, range_lat = 0;
   bool range_supported = true;
+  double maint = 0;
+  bool has_maint = false;
 };
 
-void RunBackend(const std::string& name, size_t n, const Options& opt,
-                SeriesStats* out) {
-  for (int s = 0; s < opt.seeds; ++s) {
-    uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
-    workload::UniformKeys keys(1, kDomainHi);
+SeedSample RunSeed(const std::string& name, size_t n, int s,
+                   const Options& opt) {
+  SeedSample out;
+  uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+  workload::UniformKeys keys(1, kDomainHi);
 
-    // Order-preserving backends preload while growing (ranges track the
-    // content median); hash-partitioned ones are insensitive to load order
-    // and get the same data afterwards from a dedicated rng, so the
-    // trace/replay stream below is identical for every backend.
-    overlay::Config cfg = BalancedOverlayConfig();
-    Instance inst;
-    if (overlay::Make(name, cfg)->Supports(overlay::kOrderedGrowth)) {
-      inst = BuildOverlay(name, n, seed, cfg, opt.keys_per_node, &keys);
-    } else {
-      Rng load_rng(Mix64(seed ^ 0x10ad));
-      inst = BuildOverlay(name, n, seed, cfg);
-      LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
-    }
-
-    // Attach the sim kernel after the build: the replayed ops below are
-    // timed, construction is not (and the protocol rng streams are
-    // untouched either way).
-    AttachLatency(&inst, opt.latency, seed);
-
-    workload::ChurnMix mix;
-    mix.joins = n / 10;
-    mix.leaves = n / 10;
-    mix.inserts = static_cast<size_t>(opt.queries);
-    mix.exacts = static_cast<size_t>(opt.queries);
-    mix.ranges = static_cast<size_t>(opt.queries) / 10;
-    mix.range_width = kDomainHi / 1000;  // 0.1% selectivity, as in Fig 8(e)
-    Rng rng(Mix64(seed ^ 0xc03a));
-    workload::Trace trace = workload::MakeChurnTrace(&rng, &keys, mix);
-
-    auto before = inst.net()->Snapshot();
-    workload::ReplayResult res =
-        workload::Replay(*inst.overlay, trace, &rng, &inst.members);
-    auto after = inst.net()->Snapshot();
-    inst.overlay->CheckInvariants();
-
-    using workload::OpType;
-    out->search_hops.Add(res.of(OpType::kExact).MeanHops());
-    out->search_msgs.Add(res.of(OpType::kExact).MeanMessages());
-    out->search_lat.Add(res.of(OpType::kExact).MeanLatency());
-    out->insert_msgs.Add(res.of(OpType::kInsert).MeanMessages());
-    out->join_msgs.Add(res.of(OpType::kJoin).MeanMessages());
-    out->leave_msgs.Add(res.of(OpType::kLeave).MeanMessages());
-    if (!inst.overlay->Supports(overlay::kRangeSearch)) {
-      out->range_supported = false;
-    } else {
-      out->range_msgs.Add(res.of(OpType::kRange).MeanMessages());
-      out->range_lat.Add(res.of(OpType::kRange).MeanLatency());
-    }
-    uint64_t churn_ops = res.of(OpType::kJoin).count +
-                         res.of(OpType::kLeave).count;
-    if (churn_ops > 0) {
-      out->maint_msgs.Add(
-          static_cast<double>(MaintenanceDelta(before, after)) /
-          static_cast<double>(churn_ops));
-    }
+  // Order-preserving backends preload while growing (ranges track the
+  // content median); hash-partitioned ones are insensitive to load order
+  // and get the same data afterwards from a dedicated rng, so the
+  // trace/replay stream below is identical for every backend.
+  overlay::Config cfg = BalancedOverlayConfig();
+  Instance inst;
+  if (overlay::Make(name, cfg)->Supports(overlay::kOrderedGrowth)) {
+    inst = BuildOverlay(name, n, seed, cfg, opt.keys_per_node, &keys);
+  } else {
+    Rng load_rng(Mix64(seed ^ 0x10ad));
+    inst = BuildOverlay(name, n, seed, cfg);
+    LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
   }
+
+  // Attach the sim kernel after the build: the replayed ops below are
+  // timed, construction is not (and the protocol rng streams are
+  // untouched either way).
+  AttachLatency(&inst, opt.latency, seed);
+
+  workload::ChurnMix mix;
+  mix.joins = n / 10;
+  mix.leaves = n / 10;
+  mix.inserts = static_cast<size_t>(opt.queries);
+  mix.exacts = static_cast<size_t>(opt.queries);
+  mix.ranges = static_cast<size_t>(opt.queries) / 10;
+  mix.range_width = kDomainHi / 1000;  // 0.1% selectivity, as in Fig 8(e)
+  Rng rng(Mix64(seed ^ 0xc03a));
+  workload::Trace trace = workload::MakeChurnTrace(&rng, &keys, mix);
+
+  auto before = inst.net()->Snapshot();
+  workload::ReplayResult res =
+      workload::Replay(*inst.overlay, trace, &rng, &inst.members);
+  auto after = inst.net()->Snapshot();
+  inst.overlay->CheckInvariants();
+
+  using workload::OpType;
+  out.search_hops = res.of(OpType::kExact).MeanHops();
+  out.search_msgs = res.of(OpType::kExact).MeanMessages();
+  out.search_lat = res.of(OpType::kExact).MeanLatency();
+  out.insert_msgs = res.of(OpType::kInsert).MeanMessages();
+  out.join_msgs = res.of(OpType::kJoin).MeanMessages();
+  out.leave_msgs = res.of(OpType::kLeave).MeanMessages();
+  if (!inst.overlay->Supports(overlay::kRangeSearch)) {
+    out.range_supported = false;
+  } else {
+    out.range_msgs = res.of(OpType::kRange).MeanMessages();
+    out.range_lat = res.of(OpType::kRange).MeanLatency();
+  }
+  uint64_t churn_ops =
+      res.of(OpType::kJoin).count + res.of(OpType::kLeave).count;
+  if (churn_ops > 0) {
+    out.has_maint = true;
+    out.maint = static_cast<double>(MaintenanceDelta(before, after)) /
+                static_cast<double>(churn_ops);
+  }
+  return out;
 }
 
 void Run(const Options& opt) {
+  const std::vector<std::string> overlays = SelectedOverlays(opt);
+  std::vector<SeedTask> tasks = SizeMajorTasks(opt, overlays);
+  std::vector<SeedSample> results =
+      RunTasks<SeedSample>(tasks, opt.threads, [&](const SeedTask& t) {
+        return RunSeed(t.overlay, t.n, t.seed, opt);
+      });
+
   TablePrinter table({"N", "overlay", "caps", "search_hops", "search_msgs",
                       "search_lat", "range_msgs", "range_lat", "insert_msgs",
                       "join_msgs", "leave_msgs", "maint_per_churn"});
+  size_t idx = 0;
   for (size_t n : opt.sizes) {
-    for (const std::string& name : SelectedOverlays(opt)) {
-      SeriesStats st;
-      RunBackend(name, n, opt, &st);
+    for (const std::string& name : overlays) {
+      struct {
+        RunningStat search_hops, search_msgs, search_lat, range_msgs,
+            range_lat;
+        RunningStat insert_msgs, join_msgs, leave_msgs, maint_msgs;
+        bool range_supported = true;
+      } st;
+      for (int s = 0; s < opt.seeds; ++s) {
+        const SeedSample& r = results[idx++];
+        st.search_hops.Add(r.search_hops);
+        st.search_msgs.Add(r.search_msgs);
+        st.search_lat.Add(r.search_lat);
+        st.insert_msgs.Add(r.insert_msgs);
+        st.join_msgs.Add(r.join_msgs);
+        st.leave_msgs.Add(r.leave_msgs);
+        if (!r.range_supported) {
+          st.range_supported = false;
+        } else {
+          st.range_msgs.Add(r.range_msgs);
+          st.range_lat.Add(r.range_lat);
+        }
+        if (r.has_maint) st.maint_msgs.Add(r.maint);
+      }
       uint32_t caps = overlay::Make(name)->capabilities();
       table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)), name,
                     overlay::CapabilitiesToString(caps),

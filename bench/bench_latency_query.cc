@@ -17,11 +17,16 @@
 //                            of the range scan (1.0 = fully sequential)
 //
 // The latency model defaults to const:1 so ticks read as "sequential hop
-// equivalents"; pass --latency=uniform:LO,HI for jittered links.
+// equivalents"; pass --latency=uniform:LO,HI for jittered links. Every
+// (backend, N, seed) run is an independent task (own Instance, network and
+// sim kernel), so --threads=N runs them on a worker pool; per-query samples
+// are aggregated in task order afterwards, keeping the output
+// byte-identical to a sequential run.
 //
 //   ./bench_latency_query --sizes=200 --seeds=1
-//   ./bench_latency_query --overlay=baton,multiway --latency=uniform:5,20
+//   ./bench_latency_query --overlay=baton,d3tree --latency=uniform:5,20
 #include <string>
+#include <vector>
 
 #include "bench_common/experiment.h"
 #include "util/stats.h"
@@ -32,63 +37,84 @@ namespace {
 
 constexpr Key kDomainHi = 1000000000;
 
-struct SeriesStats {
-  RunningStat exact_hops, exact_lat, range_msgs, range_lat, range_par;
+/// Per-query samples from one (backend, N, seed) task.
+struct SeedSample {
+  std::vector<double> exact_hops, exact_lat;
+  std::vector<double> range_msgs, range_lat, range_par;
   bool range_supported = true;
 };
 
-void RunBackend(const std::string& name, size_t n, const Options& opt,
-                SeriesStats* out) {
+SeedSample RunSeed(const std::string& name, size_t n, int s,
+                   const Options& opt) {
+  SeedSample out;
   const Key width = kDomainHi / 1000;  // 0.1% selectivity, as in Fig 8(e)
-  for (int s = 0; s < opt.seeds; ++s) {
-    uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
-    workload::UniformKeys keys(1, kDomainHi);
+  uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
+  workload::UniformKeys keys(1, kDomainHi);
 
-    overlay::Config cfg = BalancedOverlayConfig();
-    Instance inst;
-    if (overlay::Make(name, cfg)->Supports(overlay::kOrderedGrowth)) {
-      inst = BuildOverlay(name, n, seed, cfg, opt.keys_per_node, &keys);
-    } else {
-      Rng load_rng(Mix64(seed ^ 0x10ad));
-      inst = BuildOverlay(name, n, seed, cfg);
-      LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
-    }
-    AttachLatency(&inst, opt.latency, seed);
+  overlay::Config cfg = BalancedOverlayConfig();
+  Instance inst;
+  if (overlay::Make(name, cfg)->Supports(overlay::kOrderedGrowth)) {
+    inst = BuildOverlay(name, n, seed, cfg, opt.keys_per_node, &keys);
+  } else {
+    Rng load_rng(Mix64(seed ^ 0x10ad));
+    inst = BuildOverlay(name, n, seed, cfg);
+    LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
+  }
+  AttachLatency(&inst, opt.latency, seed);
 
-    Rng rng(Mix64(seed ^ 0x1a7e));
-    for (int q = 0; q < opt.queries; ++q) {
-      auto st = inst.overlay->ExactSearch(
-          inst.members[rng.NextBelow(inst.members.size())], keys.Next(&rng));
-      BATON_CHECK(st.ok()) << st.status.ToString();
-      out->exact_hops.Add(static_cast<double>(st.hops));
-      out->exact_lat.Add(static_cast<double>(st.latency_ticks));
-    }
-    if (!inst.overlay->Supports(overlay::kRangeSearch)) {
-      out->range_supported = false;
-      continue;
-    }
-    for (int q = 0; q < opt.queries; ++q) {
-      Key lo = rng.UniformInt(1, kDomainHi - width - 1);
-      auto st = inst.overlay->RangeSearch(
-          inst.members[rng.NextBelow(inst.members.size())], lo, lo + width);
-      BATON_CHECK(st.ok()) << st.status.ToString();
-      out->range_msgs.Add(static_cast<double>(st.messages));
-      out->range_lat.Add(static_cast<double>(st.latency_ticks));
-      if (st.latency_ticks > 0) {
-        out->range_par.Add(static_cast<double>(st.messages) /
-                           static_cast<double>(st.latency_ticks));
-      }
+  Rng rng(Mix64(seed ^ 0x1a7e));
+  for (int q = 0; q < opt.queries; ++q) {
+    auto st = inst.overlay->ExactSearch(
+        inst.members[rng.NextBelow(inst.members.size())], keys.Next(&rng));
+    BATON_CHECK(st.ok()) << st.status.ToString();
+    out.exact_hops.push_back(static_cast<double>(st.hops));
+    out.exact_lat.push_back(static_cast<double>(st.latency_ticks));
+  }
+  if (!inst.overlay->Supports(overlay::kRangeSearch)) {
+    out.range_supported = false;
+    return out;
+  }
+  for (int q = 0; q < opt.queries; ++q) {
+    Key lo = rng.UniformInt(1, kDomainHi - width - 1);
+    auto st = inst.overlay->RangeSearch(
+        inst.members[rng.NextBelow(inst.members.size())], lo, lo + width);
+    BATON_CHECK(st.ok()) << st.status.ToString();
+    out.range_msgs.push_back(static_cast<double>(st.messages));
+    out.range_lat.push_back(static_cast<double>(st.latency_ticks));
+    if (st.latency_ticks > 0) {
+      out.range_par.push_back(static_cast<double>(st.messages) /
+                              static_cast<double>(st.latency_ticks));
     }
   }
+  return out;
 }
 
 void Run(const Options& opt) {
+  const std::vector<std::string> overlays = SelectedOverlays(opt);
+  std::vector<SeedTask> tasks = SizeMajorTasks(opt, overlays);
+  std::vector<SeedSample> results =
+      RunTasks<SeedSample>(tasks, opt.threads, [&](const SeedTask& t) {
+        return RunSeed(t.overlay, t.n, t.seed, opt);
+      });
+
   TablePrinter table({"N", "overlay", "exact_hops", "exact_lat", "range_msgs",
                       "range_lat", "range_par"});
+  size_t idx = 0;
   for (size_t n : opt.sizes) {
-    for (const std::string& name : SelectedOverlays(opt)) {
-      SeriesStats st;
-      RunBackend(name, n, opt, &st);
+    for (const std::string& name : overlays) {
+      struct {
+        RunningStat exact_hops, exact_lat, range_msgs, range_lat, range_par;
+        bool range_supported = true;
+      } st;
+      for (int s = 0; s < opt.seeds; ++s) {
+        const SeedSample& r = results[idx++];
+        for (double v : r.exact_hops) st.exact_hops.Add(v);
+        for (double v : r.exact_lat) st.exact_lat.Add(v);
+        if (!r.range_supported) st.range_supported = false;
+        for (double v : r.range_msgs) st.range_msgs.Add(v);
+        for (double v : r.range_lat) st.range_lat.Add(v);
+        for (double v : r.range_par) st.range_par.Add(v);
+      }
       table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)), name,
                     TablePrinter::Num(st.exact_hops.mean()),
                     TablePrinter::Num(st.exact_lat.mean()),

@@ -13,9 +13,16 @@
 // Every row mirrors into BENCH_wallclock.json (or --json=PATH) with the
 // schema {backend, N, seed, op, ops, wall_ms, ops_per_sec} so CI can track
 // the trajectory across PRs. A scale sweep is just --sizes: e.g.
-//   bench_wallclock --overlay=baton --sizes=131072 --seeds=1 --keys=10 \
+//   bench_wallclock --overlay=baton --sizes=131072 --seeds=1 --keys=10
 //       --phases=build,load,replay
 // demonstrates a 131k-node BATON build, 13x the paper's largest experiment.
+//
+// Each (backend, N, seed) triple is an independent task; --threads=N runs
+// them on a worker pool and appends their rows in task order, cutting a
+// multi-backend sweep's wall-clock roughly by the thread count. Concurrent
+// tasks share the machine, so per-row timings are noisier than a
+// sequential run -- keep --threads=1 (the default) when absolute numbers
+// matter more than total sweep time.
 //
 // --phases=a,b,c (default: all four) selects phases. Churn is excluded from
 // the 100k+ sweep: a data-less build at that scale leaves width-1 range
@@ -44,14 +51,16 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
-void AddPhaseRow(TablePrinter* table, const std::string& backend, size_t n,
-                 int seed, const char* op, uint64_t ops, double wall_ms) {
+using Rows = std::vector<std::vector<std::string>>;
+
+void AddPhaseRow(Rows* rows, const std::string& backend, size_t n, int seed,
+                 const char* op, uint64_t ops, double wall_ms) {
   double secs = wall_ms / 1000.0;
   double rate = secs > 0 ? static_cast<double>(ops) / secs : 0.0;
-  table->AddRow({backend, TablePrinter::Int(static_cast<int64_t>(n)),
-                 TablePrinter::Int(seed), op,
-                 TablePrinter::Int(static_cast<int64_t>(ops)),
-                 TablePrinter::Num(wall_ms, 2), TablePrinter::Num(rate, 1)});
+  rows->push_back({backend, TablePrinter::Int(static_cast<int64_t>(n)),
+                   TablePrinter::Int(seed), op,
+                   TablePrinter::Int(static_cast<int64_t>(ops)),
+                   TablePrinter::Num(wall_ms, 2), TablePrinter::Num(rate, 1)});
 }
 
 struct Phases {
@@ -63,8 +72,9 @@ struct Phases {
   bool churn = true;
 };
 
-void RunOne(const std::string& backend, size_t n, int seed_idx,
-            const Options& opt, const Phases& phases, TablePrinter* table) {
+Rows RunOne(const std::string& backend, size_t n, int seed_idx,
+            const Options& opt, const Phases& phases) {
+  Rows rows;
   uint64_t seed = opt.base_seed + static_cast<uint64_t>(seed_idx);
 
   // build: same growth loop as every figure bench (BuildOverlay), timed.
@@ -79,7 +89,7 @@ void RunOne(const std::string& backend, size_t n, int seed_idx,
   Instance inst = BuildOverlay(backend, n, seed, cfg);
   double build_ms = MsSince(t0);
   if (phases.build) {
-    AddPhaseRow(table, backend, n, seed_idx, "build", n, build_ms);
+    AddPhaseRow(&rows, backend, n, seed_idx, "build", n, build_ms);
   }
 
   Rng rng(Mix64(seed ^ 0x3a11c10c));
@@ -90,7 +100,7 @@ void RunOne(const std::string& backend, size_t n, int seed_idx,
   if (phases.load && loads > 0) {
     t0 = Clock::now();
     LoadOverlay(&inst, opt.keys_per_node, &gen, &rng);
-    AddPhaseRow(table, backend, n, seed_idx, "load", loads, MsSince(t0));
+    AddPhaseRow(&rows, backend, n, seed_idx, "load", loads, MsSince(t0));
   }
 
   // replay: exact-match queries through the overlay-generic driver.
@@ -99,7 +109,7 @@ void RunOne(const std::string& backend, size_t n, int seed_idx,
         &rng, &gen, 0, 0, static_cast<size_t>(opt.queries), 0, 0);
     t0 = Clock::now();
     workload::Replay(*inst.overlay, trace, &rng, &inst.members);
-    AddPhaseRow(table, backend, n, seed_idx, "replay",
+    AddPhaseRow(&rows, backend, n, seed_idx, "replay",
                 static_cast<uint64_t>(opt.queries), MsSince(t0));
   }
 
@@ -117,9 +127,10 @@ void RunOne(const std::string& backend, size_t n, int seed_idx,
       BATON_CHECK(left.ok()) << left.status.ToString();
       inst.members.erase(inst.members.begin() + static_cast<long>(idx));
     }
-    AddPhaseRow(table, backend, n, seed_idx, "churn",
+    AddPhaseRow(&rows, backend, n, seed_idx, "churn",
                 static_cast<uint64_t>(2 * pairs), MsSince(t0));
   }
+  return rows;
 }
 
 Phases ParsePhases(const char* arg) {
@@ -179,14 +190,16 @@ int Main(int argc, char** argv) {
     SetJsonMirror(opt.json_path);
   }
 
+  std::vector<SeedTask> tasks = BackendMajorTasks(opt, SelectedOverlays(opt));
+  std::vector<Rows> results =
+      RunTasks<Rows>(tasks, opt.threads, [&](const SeedTask& t) {
+        return RunOne(t.overlay, t.n, t.seed, opt, phases);
+      });
+
   TablePrinter table({"backend", "N", "seed", "op", "ops", "wall_ms",
                       "ops_per_sec"});
-  for (const std::string& backend : SelectedOverlays(opt)) {
-    for (size_t n : opt.sizes) {
-      for (int s = 0; s < opt.seeds; ++s) {
-        RunOne(backend, n, s, opt, phases, &table);
-      }
-    }
+  for (const Rows& rows : results) {
+    for (const std::vector<std::string>& row : rows) table.AddRow(row);
   }
   Emit("Wall-clock throughput (simulator execution speed, not messages)",
        table, opt);

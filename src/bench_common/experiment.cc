@@ -1,9 +1,11 @@
 #include "bench_common/experiment.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace baton {
 namespace bench {
@@ -173,6 +175,10 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "  --queries=N           queries/operations per point\n"
       "  --seed=S              base RNG seed\n"
       "  --overlay=name[,...]  backends to run (registered: %s)\n"
+      "  --threads=N           worker threads for per-(backend,N,seed) "
+      "tasks\n"
+      "                        (default 1; 0 = hardware concurrency)\n"
+      "  --list-overlays       print the registered backend names and exit\n"
       "  --latency=MODEL       link latency: const:N or uniform:LO,HI "
       "(ticks);\n"
       "                        enables simulated per-op latency reporting\n"
@@ -254,6 +260,17 @@ Options ParseOptions(int argc, char** argv) {
     } else if (std::strcmp(a, "--help") == 0) {
       PrintUsage(stdout, argv[0]);
       std::exit(0);
+    } else if (std::strcmp(a, "--list-overlays") == 0) {
+      for (const std::string& name : overlay::RegisteredNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      std::exit(0);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      opt.threads = std::atoi(a + 10);
+      if (opt.threads < 0) {
+        std::fprintf(stderr, "--threads needs a count >= 0\n");
+        std::exit(2);
+      }
     } else if (std::strncmp(a, "--seeds=", 8) == 0) {
       opt.seeds = std::atoi(a + 8);
     } else if (std::strncmp(a, "--keys=", 7) == 0) {
@@ -300,6 +317,58 @@ Options ParseOptions(int argc, char** argv) {
 
 std::vector<std::string> SelectedOverlays(const Options& opt) {
   return opt.overlays.empty() ? overlay::RegisteredNames() : opt.overlays;
+}
+
+std::vector<SeedTask> SizeMajorTasks(
+    const Options& opt, const std::vector<std::string>& overlays) {
+  std::vector<SeedTask> tasks;
+  tasks.reserve(opt.sizes.size() * overlays.size() *
+                static_cast<size_t>(opt.seeds));
+  for (size_t n : opt.sizes) {
+    for (const std::string& name : overlays) {
+      for (int s = 0; s < opt.seeds; ++s) tasks.push_back({name, n, s});
+    }
+  }
+  return tasks;
+}
+
+std::vector<SeedTask> BackendMajorTasks(
+    const Options& opt, const std::vector<std::string>& overlays) {
+  std::vector<SeedTask> tasks;
+  tasks.reserve(opt.sizes.size() * overlays.size() *
+                static_cast<size_t>(opt.seeds));
+  for (const std::string& name : overlays) {
+    for (size_t n : opt.sizes) {
+      for (int s = 0; s < opt.seeds; ++s) tasks.push_back({name, n, s});
+    }
+  }
+  return tasks;
+}
+
+void ParallelFor(size_t count, int threads,
+                 const std::function<void(size_t)>& fn) {
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  size_t workers = std::min(count, static_cast<size_t>(std::max(threads, 1)));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Atomic work cursor instead of static partitioning: tasks (per-seed
+  // overlay builds + replays) have wildly different costs across backends
+  // and sizes, so early-finishing workers steal the tail.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, count, &fn]() {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
 }
 
 BatonConfig BalancedConfig() {

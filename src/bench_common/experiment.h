@@ -10,6 +10,7 @@
 #ifndef BATON_BENCH_COMMON_EXPERIMENT_H_
 #define BATON_BENCH_COMMON_EXPERIMENT_H_
 
+#include <functional>
 #include <initializer_list>
 #include <memory>
 #include <string>
@@ -52,6 +53,13 @@ struct Options {
   int seeds = 2;
   uint64_t base_seed = 20260608;
   bool csv = false;
+  /// Worker threads for per-(backend, N, seed) task execution in the
+  /// multi-backend benches (--threads=N; 0 = hardware concurrency).
+  /// Defaults to 1: results are deterministic regardless (tasks only write
+  /// their own slot and aggregation is sequential), but concurrent tasks
+  /// share the machine, so leave wall-clock *timing* benches sequential
+  /// unless throughput matters more than timing fidelity.
+  int threads = 1;
   /// Backends selected with --overlay=...; empty means "all registered".
   std::vector<std::string> overlays;
   /// Link latency model from --latency=...; Kind::kNone leaves the sim
@@ -63,10 +71,55 @@ struct Options {
 };
 
 /// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
-/// --sizes=a,b,c, --seed=S, --overlay=name[,name...],
-/// --latency=const:N|uniform:LO,HI, --json=PATH, --help (prints usage,
-/// exits 0). Unknown flags print the usage and exit 2.
+/// --sizes=a,b,c, --seed=S, --overlay=name[,name...], --threads=N,
+/// --latency=const:N|uniform:LO,HI, --json=PATH, --list-overlays (prints
+/// overlay::RegisteredNames() one per line, exits 0), --help (prints usage,
+/// exits 0). Unknown flags print the usage and exit 2; usage and the
+/// --overlay rejection message both list the registered backends from the
+/// registry, so new backends appear without touching this file.
 Options ParseOptions(int argc, char** argv);
+
+/// Runs fn(i) for every i in [0, count) on up to `threads` worker threads
+/// (1 = inline sequential execution, 0 = hardware concurrency). Tasks are
+/// handed out in index order through an atomic cursor. Each task must touch
+/// only its own result slot; emit tables/JSON only after the call returns
+/// (the seed-parallel bench pattern: build per-task results concurrently,
+/// then aggregate sequentially in task order so output is byte-identical to
+/// a sequential run).
+void ParallelFor(size_t count, int threads,
+                 const std::function<void(size_t)>& fn);
+
+/// One (overlay, N, seed) unit of bench work; built by the task builders
+/// below and executed through RunTasks.
+struct SeedTask {
+  std::string overlay;
+  size_t n = 0;
+  int seed = 0;
+};
+
+/// Tasks in sizes-major order (opt.sizes × overlays × opt.seeds) -- the row
+/// nesting of the per-size comparison tables (bench_compare_overlays,
+/// bench_latency_query).
+std::vector<SeedTask> SizeMajorTasks(const Options& opt,
+                                     const std::vector<std::string>& overlays);
+/// Tasks in backend-major order (overlays × opt.sizes × opt.seeds) -- the
+/// row nesting of bench_wallclock.
+std::vector<SeedTask> BackendMajorTasks(
+    const Options& opt, const std::vector<std::string>& overlays);
+
+/// Runs fn(task) for every task on `threads` workers (via ParallelFor) and
+/// returns the results aligned with `tasks`. This pins the ordering
+/// contract in one place: a bench aggregates by replaying the same loop
+/// nest its task builder used (or by iterating `tasks` directly), so its
+/// output is byte-identical to a sequential run regardless of thread count.
+template <typename Result, typename Fn>
+std::vector<Result> RunTasks(const std::vector<SeedTask>& tasks, int threads,
+                             Fn&& fn) {
+  std::vector<Result> results(tasks.size());
+  ParallelFor(tasks.size(), threads,
+              [&](size_t i) { results[i] = fn(tasks[i]); });
+  return results;
+}
 
 /// Routes every subsequent Emit into a JSON mirror at `path` (in addition
 /// to stdout): the file holds one JSON array whose elements are row objects

@@ -1,0 +1,159 @@
+// D3-Tree join: cluster-local, deterministic. The contact forwards the
+// joiner to its bucket's representative; the joiner splits the contact's
+// range at the content median (value midpoint when the bag is too small)
+// and splices in as the contact's in-order successor. No restructuring
+// happens here -- the representative's overflow / weight checks at the end
+// of the operation defer all rebalancing to a single deterministic subtree
+// rebuild (load_balance.cc).
+#include <algorithm>
+
+#include "d3tree/d3tree_network.h"
+#include "util/check.h"
+
+namespace baton {
+namespace d3tree {
+
+PeerId D3TreeNetwork::Bootstrap() {
+  BATON_CHECK_EQ(live_count_, 0u);
+  BATON_CHECK_EQ(root_, kNullBucket);
+  PeerId id = net_->Register();
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  D3Node* n = &nodes_[id];
+  *n = D3Node{};
+  n->id = id;
+  n->in_overlay = true;
+  n->range = Range{config_.domain_lo, config_.domain_hi};
+
+  root_ = AllocBucket();
+  D3Bucket* rb = &buckets_[root_];
+  rb->members.push_back(id);
+  rb->weight = 1;
+  rb->range = n->range;
+  rb->extent = n->range;
+  n->bucket = root_;
+  ++live_count_;
+  return id;
+}
+
+PeerId D3TreeNetwork::FindSplitDonor(BucketId b, PeerId contact, int* hops) {
+  if (N(contact)->range.Width() >= 2) return contact;
+  // The representative's member table knows every member's range: pick the
+  // widest member (deterministic tie-break: first in order), one hop away.
+  const D3Bucket* bk = B(b);
+  PeerId widest = kNullPeer;
+  Key best = 0;
+  for (PeerId m : bk->members) {
+    Key w = N(m)->range.Width();
+    if (w > best) {
+      best = w;
+      widest = m;
+    }
+  }
+  if (best >= 2) {
+    if (widest != RepOf(b)) {
+      Count(RepOf(b), widest, net::MsgType::kD3JoinForward);
+      ++*hops;
+    }
+    return widest;
+  }
+  // Whole bucket is width-1 slivers (only possible when the domain is
+  // nearly saturated): scan the adjacency chain rightward to its end, then
+  // leftward from the bucket's low boundary, for a splittable peer. Returns
+  // kNullPeer when every peer in the overlay is a width-1 sliver (the
+  // domain is fully saturated and the join must be refused).
+  int guard = 2 * static_cast<int>(live_count_) + 4;
+  PeerId cur = bk->members.back();
+  while (cur != kNullPeer && N(cur)->range.Width() < 2) {
+    BATON_CHECK_GE(--guard, 0);
+    PeerId next = N(cur)->right_adj;
+    if (next != kNullPeer) {
+      Count(cur, next, net::MsgType::kD3JoinForward);
+      ++*hops;
+    }
+    cur = next;
+  }
+  if (cur == kNullPeer) {
+    cur = bk->members.front();
+    while (cur != kNullPeer && N(cur)->range.Width() < 2) {
+      BATON_CHECK_GE(--guard, 0);
+      PeerId next = N(cur)->left_adj;
+      if (next != kNullPeer) {
+        Count(cur, next, net::MsgType::kD3JoinForward);
+        ++*hops;
+      }
+      cur = next;
+    }
+  }
+  return cur;
+}
+
+Result<PeerId> D3TreeNetwork::Join(PeerId contact) {
+  if (contact >= nodes_.size() || !N(contact)->in_overlay) {
+    return Status::InvalidArgument("contact is not an overlay member");
+  }
+  BucketId b = N(contact)->bucket;
+  int hops = 0;
+  // The join request is registered at the cluster's representative (it
+  // maintains the member table and the backbone links).
+  if (contact != RepOf(b)) {
+    Count(contact, RepOf(b), net::MsgType::kD3JoinForward);
+    ++hops;
+  }
+  PeerId donor_id = FindSplitDonor(b, contact, &hops);
+  if (donor_id == kNullPeer) {
+    return Status::Exhausted("key domain saturated: every peer manages a "
+                             "single value, no range left to split");
+  }
+  b = N(donor_id)->bucket;  // the sliver walk may leave the bucket
+
+  PeerId yid = net_->Register();
+  if (yid >= nodes_.size()) nodes_.resize(yid + 1);
+  D3Node* donor = N(donor_id);  // re-derive after resize
+  D3Node* y = &nodes_[yid];
+  *y = D3Node{};
+  y->id = yid;
+  y->in_overlay = true;
+  y->bucket = b;
+
+  // y takes the upper half of the donor's range (content median when the
+  // donor holds enough keys) and becomes its in-order successor -- the
+  // donor keeps its own position, so the representative never changes on a
+  // join.
+  Key split = donor->data.size() >= 2 ? donor->data.Median()
+                                      : donor->range.Mid();
+  split = std::max(donor->range.lo + 1,
+                   std::min(split, donor->range.hi - 1));
+  y->range = Range{split, donor->range.hi};
+  y->data = donor->data.ExtractAtLeast(split);
+  donor->range.hi = split;
+  Count(donor_id, yid, net::MsgType::kContentTransfer);
+
+  // Splice into the adjacency chain just right of the donor.
+  y->left_adj = donor_id;
+  y->right_adj = donor->right_adj;
+  if (donor->right_adj != kNullPeer) {
+    Count(yid, donor->right_adj, net::MsgType::kD3BucketUpdate);
+    N(donor->right_adj)->left_adj = yid;
+  }
+  donor->right_adj = yid;
+
+  // Splice into the bucket just after the donor; the representative's
+  // member table learns the new member.
+  D3Bucket* bk = B(b);
+  auto it = std::find(bk->members.begin(), bk->members.end(), donor_id);
+  BATON_CHECK(it != bk->members.end());
+  bk->members.insert(it + 1, yid);
+  if (donor_id != RepOf(b)) {
+    Count(donor_id, RepOf(b), net::MsgType::kD3BucketUpdate);
+  }
+  ++live_count_;
+
+  // The split moved no bucket boundary (y sits inside b's range), but the
+  // subtree weights along the path to the root each grew by one.
+  PropagateWeight(b, +1);
+  RebalanceAfterChange(b);
+  return yid;
+}
+
+}  // namespace d3tree
+}  // namespace baton

@@ -1,0 +1,206 @@
+// D3-Tree departures and failures: cluster-local removal. The leaver (or,
+// for a failed peer, the live cluster member that detected it) hands its
+// range -- and on a graceful leave its keys -- to an in-order adjacent
+// peer, the bucket splices it out, the weight decrement propagates to the
+// root, and underflow / weight rebalancing is deferred to one deterministic
+// subtree rebuild (load_balance.cc). No replacement search: the bucket
+// absorbs the hole, which is exactly the restructuring-cost saving over
+// BATON's FINDREPLACEMENT protocol.
+#include <algorithm>
+
+#include "d3tree/d3tree_network.h"
+#include "util/check.h"
+
+namespace baton {
+namespace d3tree {
+
+void D3TreeNetwork::RemoveLastNode(D3Node* x) {
+  total_keys_ -= x->data.size();
+  FreeBucket(x->bucket);
+  root_ = kNullBucket;
+  PeerId id = x->id;
+  *x = D3Node{};
+  x->id = id;
+  --live_count_;
+  net_->MarkDead(id);
+}
+
+void D3TreeNetwork::RemoveMember(D3Node* x, PeerId coordinator,
+                                 bool content_lost) {
+  BATON_CHECK_GE(live_count_, 2u);
+  BucketId b = x->bucket;
+  D3Bucket* bk = B(b);
+
+  // Receiver of x's range: prefer an adjacent peer inside the same bucket
+  // (no bucket-boundary shift), else either in-order neighbour -- but a
+  // live receiver always beats a dead one: handing a graceful leaver's keys
+  // to a pending (unrecovered) failure would silently lose them when that
+  // failure is recovered.
+  PeerId prefs[4];
+  int ncand = 0;
+  if (x->right_adj != kNullPeer && N(x->right_adj)->bucket == b) {
+    prefs[ncand++] = x->right_adj;
+  }
+  if (x->left_adj != kNullPeer && N(x->left_adj)->bucket == b) {
+    prefs[ncand++] = x->left_adj;
+  }
+  if (x->right_adj != kNullPeer) prefs[ncand++] = x->right_adj;
+  if (x->left_adj != kNullPeer) prefs[ncand++] = x->left_adj;
+  BATON_CHECK_GT(ncand, 0);
+  PeerId recv_id = kNullPeer;
+  for (int i = 0; i < ncand && recv_id == kNullPeer; ++i) {
+    if (net_->IsAlive(prefs[i])) recv_id = prefs[i];
+  }
+  // Every adjacent is a pending failure: the range must still go somewhere;
+  // the next recovery pass inherits it (and the keys are already lost or
+  // about to be, depending on who dies first).
+  if (recv_id == kNullPeer) recv_id = prefs[0];
+  D3Node* recv = N(recv_id);
+
+  if (content_lost) {
+    // Failure path: the keys died with the peer; the receiver only learns
+    // the new range boundary.
+    lost_keys_ += x->data.size();
+    total_keys_ -= x->data.size();
+    x->data = KeyBag{};
+    Count(coordinator, recv_id, net::MsgType::kD3BucketUpdate);
+  } else {
+    Count(x->id, recv_id, net::MsgType::kContentTransfer);
+    recv->data.Absorb(&x->data);
+  }
+  if (recv_id == x->right_adj) {
+    BATON_CHECK_EQ(x->range.hi, recv->range.lo);
+    recv->range.lo = x->range.lo;
+  } else {
+    BATON_CHECK_EQ(recv->range.hi, x->range.lo);
+    recv->range.hi = x->range.hi;
+  }
+
+  // Unsplice the adjacency chain.
+  if (x->left_adj != kNullPeer) {
+    Count(coordinator, x->left_adj, net::MsgType::kD3BucketUpdate);
+    N(x->left_adj)->right_adj = x->right_adj;
+  }
+  if (x->right_adj != kNullPeer) {
+    Count(coordinator, x->right_adj, net::MsgType::kD3BucketUpdate);
+    N(x->right_adj)->left_adj = x->left_adj;
+  }
+
+  // Splice out of the bucket. Losing the first member promotes a new
+  // representative, which re-homes the backbone links (parent and children
+  // address the representative) and refreshes the member table.
+  bool was_rep = bk->members.front() == x->id;
+  bk->members.erase(std::find(bk->members.begin(), bk->members.end(), x->id));
+  if (was_rep && !bk->members.empty()) {
+    PeerId new_rep = bk->members.front();
+    if (bk->parent != kNullBucket) {
+      Count(new_rep, RepOf(bk->parent), net::MsgType::kD3BackboneUpdate);
+    }
+    if (bk->left != kNullBucket) {
+      Count(new_rep, RepOf(bk->left), net::MsgType::kD3BackboneUpdate);
+    }
+    if (bk->right != kNullBucket) {
+      Count(new_rep, RepOf(bk->right), net::MsgType::kD3BackboneUpdate);
+    }
+    for (size_t i = 1; i < bk->members.size(); ++i) {
+      Count(new_rep, bk->members[i], net::MsgType::kD3BucketUpdate);
+    }
+  } else if (!was_rep) {
+    Count(coordinator, RepOf(b), net::MsgType::kD3BucketUpdate);
+  }
+
+  PeerId xid = x->id;
+  *x = D3Node{};
+  x->id = xid;
+  --live_count_;
+  net_->MarkDead(xid);
+
+  PropagateWeight(b, -1);
+
+  if (bk->members.empty() && bk->left == kNullBucket &&
+      bk->right == kNullBucket) {
+    // An emptied leaf just disappears from the backbone.
+    BucketId parent = bk->parent;
+    BATON_CHECK_NE(parent, kNullBucket);  // an empty root means live_count_==0
+    D3Bucket* pb = B(parent);
+    Count(coordinator, RepOf(parent), net::MsgType::kD3BackboneUpdate);
+    if (pb->left == b) {
+      pb->left = kNullBucket;
+    } else {
+      BATON_CHECK_EQ(pb->right, b);
+      pb->right = kNullBucket;
+    }
+    FreeBucket(b);
+    if (recv->bucket != parent) {
+      RefreshRangesUpward(recv->bucket, coordinator);
+    }
+    RefreshRangesUpward(parent, coordinator);
+    RebalanceAfterChange(parent);
+  } else {
+    // Emptied internal buckets survive until the rebalance pass rebuilds
+    // their subtree (Underflowed treats size 0 as maximal underflow).
+    if (recv->bucket != b) RefreshRangesUpward(recv->bucket, coordinator);
+    RefreshRangesUpward(b, coordinator);
+    RebalanceAfterChange(b);
+  }
+}
+
+Status D3TreeNetwork::Leave(PeerId leaver) {
+  if (leaver >= nodes_.size() || !N(leaver)->in_overlay) {
+    return Status::InvalidArgument("peer is not an overlay member");
+  }
+  D3Node* x = N(leaver);
+  if (live_count_ == 1) {
+    RemoveLastNode(x);
+    return Status::OK();
+  }
+  RemoveMember(x, leaver, /*content_lost=*/false);
+  return Status::OK();
+}
+
+void D3TreeNetwork::Fail(PeerId victim) {
+  BATON_CHECK_LT(victim, nodes_.size());
+  BATON_CHECK(N(victim)->in_overlay) << "victim is not an overlay member";
+  BATON_CHECK(net_->IsAlive(victim)) << "victim already failed";
+  net_->MarkDead(victim);
+  failed_.push_back(victim);
+}
+
+Status D3TreeNetwork::RecoverAllFailures() {
+  while (!failed_.empty()) {
+    PeerId xid = failed_.front();
+    failed_.erase(failed_.begin());
+    D3Node* x = N(xid);
+    if (!x->in_overlay) continue;
+    BATON_CHECK_GE(live_count_, 2u) << "cannot recover the only member";
+
+    // Detection is cluster-local: a live bucket member's keep-alive probe
+    // times out; it reports the death up the backbone.
+    BucketId b = x->bucket;
+    PeerId reporter = kNullPeer;
+    for (PeerId m : B(b)->members) {
+      if (m != xid && net_->IsAlive(m)) {
+        reporter = m;
+        break;
+      }
+    }
+    for (PeerId side : {x->right_adj, x->left_adj}) {
+      if (reporter != kNullPeer) break;
+      PeerId cur = side;
+      while (cur != kNullPeer && !net_->IsAlive(cur)) {
+        cur = side == x->right_adj ? N(cur)->right_adj : N(cur)->left_adj;
+      }
+      reporter = cur;
+    }
+    BATON_CHECK_NE(reporter, kNullPeer) << "no live peer left to recover";
+    Count(reporter, xid, net::MsgType::kDeadProbe);
+    if (B(b)->parent != kNullBucket) {
+      Count(reporter, RepOf(B(b)->parent), net::MsgType::kFailureReport);
+    }
+    RemoveMember(x, reporter, /*content_lost=*/true);
+  }
+  return Status::OK();
+}
+
+}  // namespace d3tree
+}  // namespace baton

@@ -1,0 +1,188 @@
+// The D3-Tree's deterministic load balancer. Joins and leaves only touch
+// one cluster; this file decides -- deterministically, with no probing and
+// no randomness -- when that cheap local work has accumulated into a
+// structural problem, and fixes the smallest offending subtree in one
+// *rebuild*: collect the subtree's peers in order, erect a freshly balanced
+// backbone of max(1, P/target) buckets over them, and deal the peers out
+// evenly. Peers keep their ranges and data (redistribution moves cluster
+// membership, not keys), so a rebuild is pure link traffic: one
+// kD3Redistribute per reassigned peer plus one kD3BackboneUpdate per
+// backbone link built.
+//
+// Triggers, checked on the changed bucket's path to the root after every
+// membership change:
+//  * weight violation -- a node's child subtree weights drift past
+//    max > 2*min + 2*target (rebuilt at the *highest* violating ancestor,
+//    so one rebuild restores the whole path);
+//  * bucket overflow  -- size > 2*target (the cluster split of the paper);
+//  * bucket underflow -- size < target/2 (rebuilt at the lowest ancestor
+//    heavy enough to refill every resulting bucket to >= target).
+// Every rebuild with more than one resulting bucket yields bucket sizes in
+// [target, 2*target], which is what makes the bounds self-sustaining.
+#include <algorithm>
+
+#include "d3tree/d3tree_network.h"
+#include "util/check.h"
+
+namespace baton {
+namespace d3tree {
+
+bool D3TreeNetwork::Overflowed(const D3Bucket* b, size_t target) const {
+  return b->members.size() > 2 * target;
+}
+
+bool D3TreeNetwork::Underflowed(const D3Bucket* b, size_t target) const {
+  return b->members.size() < std::max<size_t>(1, target / 2);
+}
+
+bool D3TreeNetwork::WeightViolated(const D3Bucket* b, size_t target) const {
+  uint64_t wl = b->left != kNullBucket ? B(b->left)->weight : 0;
+  uint64_t wr = b->right != kNullBucket ? B(b->right)->weight : 0;
+  if (wl == 0 && wr == 0) return false;
+  uint64_t lo = std::min(wl, wr);
+  uint64_t hi = std::max(wl, wr);
+  return hi > 2 * lo + 2 * static_cast<uint64_t>(target);
+}
+
+void D3TreeNetwork::RebalanceAfterChange(BucketId b) {
+  size_t target = EffectiveTarget();
+  BucketId v = kNullBucket;
+  for (BucketId cur = b; cur != kNullBucket; cur = B(cur)->parent) {
+    if (WeightViolated(B(cur), target)) v = cur;  // keep the highest
+  }
+  if (v == kNullBucket) {
+    const D3Bucket* bk = B(b);
+    if (Overflowed(bk, target)) {
+      v = b;
+    } else if (Underflowed(bk, target)) {
+      // Climb until the subtree is heavy enough that every bucket of the
+      // rebuild reaches the target size (or give the whole overlay one
+      // bucket when even the root is lighter than that).
+      v = b;
+      while (B(v)->weight < target && B(v)->parent != kNullBucket) {
+        v = B(v)->parent;
+      }
+    }
+  }
+  if (v != kNullBucket) RebuildSubtree(v);
+}
+
+void D3TreeNetwork::RebuildSubtree(BucketId v) {
+  // Capture the subtree's attachment point and its content in order.
+  BucketId parent = B(v)->parent;
+  bool is_left = parent != kNullBucket && B(parent)->left == v;
+
+  std::vector<BucketId> old_buckets;
+  std::vector<PeerId> peers;
+  std::vector<BucketId> old_assignment;
+  {
+    std::vector<std::pair<BucketId, bool>> stack{{v, false}};
+    while (!stack.empty()) {
+      auto [bid, visited] = stack.back();
+      stack.pop_back();
+      const D3Bucket* bk = B(bid);
+      if (visited) {
+        old_buckets.push_back(bid);
+        for (PeerId m : bk->members) {
+          peers.push_back(m);
+          old_assignment.push_back(bid);
+        }
+        if (bk->right != kNullBucket) stack.emplace_back(bk->right, false);
+      } else {
+        stack.emplace_back(bid, true);
+        if (bk->left != kNullBucket) stack.emplace_back(bk->left, false);
+      }
+    }
+  }
+  size_t total = peers.size();
+  BATON_CHECK_GT(total, 0u) << "rebuilding an empty subtree";
+
+  size_t target = EffectiveTarget();
+  size_t k = std::max<size_t>(1, total / target);
+
+  // Fresh buckets are allocated before the old ones are freed so ids never
+  // collide within one rebuild (old_assignment comparisons stay meaningful);
+  // the free list still recycles them across rebuilds.
+  std::vector<BucketId> fresh(k);
+  for (size_t i = 0; i < k; ++i) fresh[i] = AllocBucket();
+
+  // Deal the peers out in order: base peers per bucket, the first
+  // total % k buckets taking one extra.
+  size_t base = total / k;
+  size_t rem = total % k;
+  std::vector<size_t> offset(k + 1, 0);
+  for (size_t i = 0; i < k; ++i) {
+    offset[i + 1] = offset[i] + base + (i < rem ? 1 : 0);
+  }
+
+  // Build a balanced backbone over the bucket sequence (median split), in
+  // pre-order so each bucket's representative exists before its children
+  // charge their uplink messages.
+  struct Builder {
+    D3TreeNetwork* self;
+    const std::vector<PeerId>& peers;
+    const std::vector<BucketId>& old_assignment;
+    const std::vector<BucketId>& fresh;
+    const std::vector<size_t>& offset;
+
+    BucketId Build(size_t lo, size_t hi, BucketId par) {  // [lo, hi)
+      if (lo >= hi) return kNullBucket;
+      size_t mid = lo + (hi - lo) / 2;
+      BucketId id = fresh[mid];
+      D3Bucket* bk = &self->buckets_[id];
+      bk->parent = par;
+      bk->members.assign(peers.begin() + static_cast<long>(offset[mid]),
+                         peers.begin() + static_cast<long>(offset[mid + 1]));
+      PeerId rep = bk->members.front();
+      for (size_t i = offset[mid]; i < offset[mid + 1]; ++i) {
+        PeerId m = peers[i];
+        self->nodes_[m].bucket = id;
+        if (old_assignment[i] != id) {
+          ++self->rebuild_moves_;
+          if (m != rep) {
+            self->Count(rep, m, net::MsgType::kD3Redistribute);
+          }
+        }
+      }
+      if (par != kNullBucket) {
+        self->Count(rep, self->RepOf(par), net::MsgType::kD3BackboneUpdate);
+      }
+      bk->left = Build(lo, mid, id);
+      bk->right = Build(mid + 1, hi, id);
+      // Children are fully built: derive weight, range and extent bottom-up
+      // (the bk pointer stays valid -- every bucket was allocated up front).
+      bk->weight = bk->members.size();
+      bk->range = Range{self->nodes_[bk->members.front()].range.lo,
+                        self->nodes_[bk->members.back()].range.hi};
+      bk->extent = bk->range;
+      if (bk->left != kNullBucket) {
+        const D3Bucket* l = &self->buckets_[bk->left];
+        bk->weight += l->weight;
+        bk->extent.lo = l->extent.lo;
+      }
+      if (bk->right != kNullBucket) {
+        const D3Bucket* r = &self->buckets_[bk->right];
+        bk->weight += r->weight;
+        bk->extent.hi = r->extent.hi;
+      }
+      return id;
+    }
+  };
+  Builder builder{this, peers, old_assignment, fresh, offset};
+  BucketId new_root = builder.Build(0, k, parent);
+  for (BucketId bid : old_buckets) FreeBucket(bid);
+
+  if (parent == kNullBucket) {
+    root_ = new_root;
+  } else if (is_left) {
+    buckets_[parent].left = new_root;
+  } else {
+    buckets_[parent].right = new_root;
+  }
+  // The subtree holds the same peers over the same key span, so ancestor
+  // extents and weights are untouched.
+  ++rebuild_ops_;
+}
+
+}  // namespace d3tree
+}  // namespace baton

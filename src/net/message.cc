@@ -48,6 +48,13 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kMultiwayLinkUpdate: return "MultiwayLinkUpdate";
     case MsgType::kMultiwaySearch: return "MultiwaySearch";
     case MsgType::kMultiwayProbe: return "MultiwayProbe";
+    case MsgType::kD3JoinForward: return "D3JoinForward";
+    case MsgType::kD3Search: return "D3Search";
+    case MsgType::kD3RangeScan: return "D3RangeScan";
+    case MsgType::kD3BucketUpdate: return "D3BucketUpdate";
+    case MsgType::kD3BackboneUpdate: return "D3BackboneUpdate";
+    case MsgType::kD3WeightUpdate: return "D3WeightUpdate";
+    case MsgType::kD3Redistribute: return "D3Redistribute";
     case MsgType::kNumTypes: break;
   }
   return "Unknown";
@@ -113,6 +120,17 @@ MsgCategory CategoryOf(MsgType t) {
       return MsgCategory::kLeaveSearch;
     case MsgType::kMultiwaySearch:
       return MsgCategory::kQuery;
+    case MsgType::kD3JoinForward:
+      return MsgCategory::kJoinSearch;
+    case MsgType::kD3Search:
+    case MsgType::kD3RangeScan:
+      return MsgCategory::kQuery;
+    case MsgType::kD3BucketUpdate:
+    case MsgType::kD3BackboneUpdate:
+    case MsgType::kD3WeightUpdate:
+      return MsgCategory::kMaintenance;
+    case MsgType::kD3Redistribute:
+      return MsgCategory::kLoadBalance;
     case MsgType::kNumTypes:
       break;
   }

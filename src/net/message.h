@@ -70,6 +70,18 @@ enum class MsgType : uint16_t {
   kMultiwaySearch,
   kMultiwayProbe,         // child probe during descent
 
+  // --- D3-Tree backend (bucket clusters over a weight-balanced backbone;
+  // see src/d3tree/). Generic types (kContentTransfer, kInsert, kDelete,
+  // kDeadProbe, kFailureReport) are shared; these cover the protocol's own
+  // traffic.
+  kD3JoinForward,         // join request: contact -> cluster representative
+  kD3Search,              // exact/range routing hop over the backbone
+  kD3RangeScan,           // adjacent-link hop collecting the rest of a range
+  kD3BucketUpdate,        // intra-cluster state: member tables, adjacency
+  kD3BackboneUpdate,      // backbone links: parent/child/rep address changes
+  kD3WeightUpdate,        // subtree-weight delta propagating toward the root
+  kD3Redistribute,        // deterministic rebuild: peer reassigned to a bucket
+
   kNumTypes,              // sentinel
 };
 

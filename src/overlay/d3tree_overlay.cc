@@ -1,0 +1,87 @@
+#include "overlay/d3tree_overlay.h"
+
+#include "util/check.h"
+
+namespace baton {
+namespace overlay {
+
+D3TreeOverlay::D3TreeOverlay(const d3tree::D3Config& cfg, uint64_t seed)
+    : tree_(std::make_unique<d3tree::D3TreeNetwork>(cfg, &net_)) {
+  // The D3-Tree protocol is fully deterministic -- no rng to seed. The
+  // parameter keeps the factory signature uniform across backends.
+  (void)seed;
+}
+
+const std::string& D3TreeOverlay::name() const {
+  static const std::string kName = "d3tree";
+  return kName;
+}
+
+PeerId D3TreeOverlay::DoBootstrap() { return tree_->Bootstrap(); }
+
+void D3TreeOverlay::DoJoin(PeerId contact, OpStats* st) {
+  Result<PeerId> r = tree_->Join(contact);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value();
+}
+
+void D3TreeOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  st->status = tree_->Leave(leaver);
+}
+
+void D3TreeOverlay::DoFail(PeerId victim, OpStats* st) {
+  (void)st;
+  tree_->Fail(victim);
+}
+
+void D3TreeOverlay::DoRecoverAllFailures(OpStats* st) {
+  st->status = tree_->RecoverAllFailures();
+}
+
+void D3TreeOverlay::DoInsert(PeerId from, Key key, OpStats* st) {
+  st->status = tree_->Insert(from, key);
+}
+
+void D3TreeOverlay::DoDelete(PeerId from, Key key, OpStats* st) {
+  st->status = tree_->Delete(from, key);
+}
+
+void D3TreeOverlay::DoExactSearch(PeerId from, Key key, OpStats* st) {
+  auto r = tree_->ExactSearch(from, key);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->peer = r.value().node;
+  st->found = r.value().found;
+  st->hops = r.value().hops;
+}
+
+void D3TreeOverlay::DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st) {
+  auto r = tree_->RangeSearch(from, lo, hi);
+  if (!r.ok()) {
+    st->status = r.status();
+    return;
+  }
+  st->nodes = r.value().nodes.size();
+  st->matches = r.value().matches;
+  st->hops = r.value().hops;
+  st->found = r.value().matches > 0;
+}
+
+d3tree::D3TreeNetwork& D3TreeBackend(Overlay& ov) {
+  auto* adapter = dynamic_cast<D3TreeOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the d3tree backend";
+  return adapter->d3tree();
+}
+
+const d3tree::D3TreeNetwork& D3TreeBackend(const Overlay& ov) {
+  return D3TreeBackend(const_cast<Overlay&>(ov));
+}
+
+}  // namespace overlay
+}  // namespace baton

@@ -4,6 +4,7 @@
 
 #include "overlay/baton_overlay.h"
 #include "overlay/chord_overlay.h"
+#include "overlay/d3tree_overlay.h"
 #include "overlay/multiway_overlay.h"
 
 namespace baton {
@@ -23,6 +24,10 @@ std::map<std::string, Factory>& Registry() {
       {"chord",
        [](const Config& cfg) -> std::unique_ptr<Overlay> {
          return std::make_unique<ChordOverlay>(cfg.seed);
+       }},
+      {"d3tree",
+       [](const Config& cfg) -> std::unique_ptr<Overlay> {
+         return std::make_unique<D3TreeOverlay>(cfg.d3tree, cfg.seed);
        }},
       {"multiway",
        [](const Config& cfg) -> std::unique_ptr<Overlay> {

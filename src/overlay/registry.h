@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "baton/baton_network.h"
+#include "d3tree/d3tree_network.h"
 #include "multiway/multiway_network.h"
 #include "overlay/overlay.h"
 
@@ -26,6 +27,8 @@ struct Config {
   BatonConfig baton;
   /// "multiway": domain and fan-out.
   multiway::MultiwayConfig multiway;
+  /// "d3tree": domain and bucket (cluster) sizing.
+  d3tree::D3Config d3tree;
 };
 
 using Factory =

@@ -1,0 +1,474 @@
+// D3-Tree backend tests: protocol-level invariants (cluster size bounds,
+// backbone weight balance, deterministic rebuilds), failure recovery, full
+// determinism, and the cross-backend differential property against BATON
+// (identical exact/range answer sets over the same replayed trace -- the
+// contract the unified overlay API exists for).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "d3tree/d3tree_network.h"
+#include "net/network.h"
+#include "overlay/d3tree_overlay.h"
+#include "overlay/registry.h"
+#include "util/rng.h"
+#include "workload/replay.h"
+#include "workload/workload.h"
+
+namespace baton {
+namespace {
+
+using d3tree::BucketId;
+using d3tree::D3Config;
+using d3tree::D3TreeNetwork;
+using d3tree::kNullBucket;
+
+struct Sim {
+  net::Network net;
+  D3TreeNetwork tree;
+  std::vector<net::PeerId> members;
+
+  explicit Sim(const D3Config& cfg = {}) : tree(cfg, &net) {}
+
+  void Grow(size_t n, Rng* rng) {
+    if (members.empty()) members.push_back(tree.Bootstrap());
+    while (members.size() < n) {
+      auto r = tree.Join(members[rng->NextBelow(members.size())]);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      members.push_back(r.value());
+    }
+  }
+
+  void LeaveRandom(Rng* rng) {
+    size_t idx = rng->NextBelow(members.size());
+    ASSERT_TRUE(tree.Leave(members[idx]).ok());
+    members.erase(members.begin() + static_cast<long>(idx));
+  }
+};
+
+/// Asserts the protocol's *tight* balance bounds -- valid whenever the
+/// bucket target is pinned by config (the adaptive target can drift between
+/// rebuilds, which is why CheckInvariants itself uses slack).
+void ExpectTightBalance(const D3TreeNetwork& tree) {
+  size_t target = tree.EffectiveTarget();
+  auto order = tree.BucketsInOrder();
+  for (BucketId bid : order) {
+    const d3tree::D3Bucket& b = tree.bucket(bid);
+    EXPECT_LE(b.members.size(), 2 * target) << "bucket " << bid;
+    if (order.size() > 1) {
+      EXPECT_GE(b.members.size(), std::max<size_t>(1, target / 2))
+          << "bucket " << bid;
+    }
+    uint64_t wl = b.left != kNullBucket ? tree.bucket(b.left).weight : 0;
+    uint64_t wr = b.right != kNullBucket ? tree.bucket(b.right).weight : 0;
+    if (wl != 0 || wr != 0) {
+      EXPECT_LE(std::max(wl, wr), 2 * std::min(wl, wr) + 2 * target)
+          << "weight imbalance at bucket " << bid;
+    }
+  }
+}
+
+TEST(D3TreeBasics, BootstrapInsertSearchRange) {
+  Sim sim;
+  Rng rng(7);
+  sim.Grow(40, &rng);
+  sim.tree.CheckInvariants();
+
+  std::multiset<Key> reference;
+  workload::UniformKeys keys(1, 1000000000);
+  for (int i = 0; i < 500; ++i) {
+    Key k = keys.Next(&rng);
+    reference.insert(k);
+    ASSERT_TRUE(
+        sim.tree.Insert(sim.members[rng.NextBelow(sim.members.size())], k)
+            .ok());
+  }
+  sim.tree.CheckInvariants();
+  EXPECT_EQ(sim.tree.total_keys(), 500u);
+
+  // Exact queries agree with the reference set, from any origin.
+  for (Key k : {*reference.begin(), *reference.rbegin()}) {
+    auto r = sim.tree.ExactSearch(sim.members[5], k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().found);
+  }
+  auto miss = sim.tree.ExactSearch(sim.members[0], 999999999);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss.value().found, reference.count(999999999) > 0);
+
+  // Range queries count exactly the reference keys in [lo, hi).
+  for (int i = 0; i < 50; ++i) {
+    Key lo = keys.Next(&rng);
+    Key hi = lo + 40000000;
+    auto r = sim.tree.RangeSearch(
+        sim.members[rng.NextBelow(sim.members.size())], lo, hi);
+    ASSERT_TRUE(r.ok());
+    size_t expect = std::distance(reference.lower_bound(lo),
+                                  reference.lower_bound(hi));
+    EXPECT_EQ(r.value().matches, expect);
+  }
+
+  // Deletes drain the index.
+  for (Key k : reference) {
+    ASSERT_TRUE(
+        sim.tree.Delete(sim.members[rng.NextBelow(sim.members.size())], k)
+            .ok());
+  }
+  EXPECT_EQ(sim.tree.total_keys(), 0u);
+  EXPECT_FALSE(sim.tree.Delete(sim.members[0], 123).ok());
+  sim.tree.CheckInvariants();
+}
+
+TEST(D3TreeBasics, MembersMatchesAdjacencyAndBucketOrder) {
+  Sim sim;
+  Rng rng(11);
+  sim.Grow(200, &rng);
+  std::vector<net::PeerId> members = sim.tree.Members();
+  ASSERT_EQ(members.size(), 200u);
+  // In-order members have strictly increasing, contiguous ranges.
+  for (size_t i = 0; i + 1 < members.size(); ++i) {
+    EXPECT_EQ(sim.tree.node(members[i]).range.hi,
+              sim.tree.node(members[i + 1]).range.lo);
+  }
+  // Every member is reachable through BucketsInOrder exactly once.
+  size_t count = 0;
+  for (BucketId bid : sim.tree.BucketsInOrder()) {
+    count += sim.tree.bucket(bid).members.size();
+  }
+  EXPECT_EQ(count, 200u);
+}
+
+TEST(D3TreeBasics, DrainToEmptyAndRebootstrap) {
+  Sim sim;
+  Rng rng(3);
+  sim.Grow(25, &rng);
+  while (sim.members.size() > 1) {
+    sim.LeaveRandom(&rng);
+    sim.tree.CheckInvariants();
+  }
+  ASSERT_TRUE(sim.tree.Leave(sim.members[0]).ok());
+  sim.members.clear();
+  EXPECT_EQ(sim.tree.size(), 0u);
+  EXPECT_EQ(sim.tree.bucket_count(), 0u);
+  sim.tree.CheckInvariants();
+
+  // A drained overlay can bootstrap again.
+  sim.Grow(10, &rng);
+  EXPECT_EQ(sim.tree.size(), 10u);
+  sim.tree.CheckInvariants();
+}
+
+TEST(D3TreeInvariants, TightBoundsUnderChurnWithPinnedTarget) {
+  D3Config cfg;
+  cfg.bucket_target = 8;  // pinned: the tight window must hold throughout
+  Sim sim(cfg);
+  Rng rng(42);
+  sim.Grow(400, &rng);
+  sim.tree.CheckInvariants();
+  ExpectTightBalance(sim.tree);
+
+  workload::UniformKeys keys(1, 1000000000);
+  for (int round = 0; round < 400; ++round) {
+    if (rng.NextBool(0.5)) {
+      auto r = sim.tree.Join(
+          sim.members[rng.NextBelow(sim.members.size())]);
+      ASSERT_TRUE(r.ok());
+      sim.members.push_back(r.value());
+    } else if (sim.members.size() > 4) {
+      sim.LeaveRandom(&rng);
+    }
+    ASSERT_TRUE(sim.tree
+                    .Insert(sim.members[rng.NextBelow(sim.members.size())],
+                            keys.Next(&rng))
+                    .ok());
+    if (round % 25 == 0) {
+      sim.tree.CheckInvariants();
+      ExpectTightBalance(sim.tree);
+    }
+  }
+  sim.tree.CheckInvariants();
+  ExpectTightBalance(sim.tree);
+  // Churn at this scale must have exercised the deterministic balancer.
+  EXPECT_GT(sim.tree.rebuild_ops(), 0u);
+  EXPECT_GT(sim.tree.rebuild_moves(), 0u);
+}
+
+TEST(D3TreeInvariants, AdaptiveTargetKeepsBackboneLogarithmic) {
+  Sim sim;
+  Rng rng(5);
+  sim.Grow(1000, &rng);
+  sim.tree.CheckInvariants();
+  // target ~ log2(N), so the backbone has ~N/log N buckets and the
+  // weight-balance trigger keeps its height within a small multiple of
+  // log2(#buckets).
+  size_t buckets = sim.tree.bucket_count();
+  EXPECT_GT(buckets, 1u);
+  int log2b = 0;
+  while ((1u << log2b) < buckets) ++log2b;
+  EXPECT_LE(sim.tree.BackboneHeight(), 3 * log2b + 4);
+
+  // Exact-search hop counts stay logarithmic-ish end to end.
+  workload::UniformKeys keys(1, 1000000000);
+  int worst = 0;
+  for (int q = 0; q < 200; ++q) {
+    auto r = sim.tree.ExactSearch(
+        sim.members[rng.NextBelow(sim.members.size())], keys.Next(&rng));
+    ASSERT_TRUE(r.ok());
+    worst = std::max(worst, r.value().hops);
+  }
+  EXPECT_LE(worst, 6 * log2b + 8);
+}
+
+TEST(D3TreeInvariants, AdaptiveTargetSurvivesMassShrink) {
+  // The adaptive target falls as N falls; buckets sized for the old target
+  // must be reabsorbed by underflow rebuilds without tripping any
+  // invariant. Shrink 2000 -> 40 with continuous validation.
+  Sim sim;
+  Rng rng(31);
+  sim.Grow(2000, &rng);
+  sim.tree.CheckInvariants();
+  int ops = 0;
+  while (sim.members.size() > 40) {
+    sim.LeaveRandom(&rng);
+    if (++ops % 100 == 0) sim.tree.CheckInvariants();
+  }
+  sim.tree.CheckInvariants();
+  EXPECT_EQ(sim.tree.size(), 40u);
+}
+
+TEST(D3TreeFailure, RecoveryReclaimsRangeAndCountsLostKeys) {
+  Sim sim;
+  Rng rng(19);
+  sim.Grow(60, &rng);
+  workload::UniformKeys keys(1, 1000000000);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(sim.tree
+                    .Insert(sim.members[rng.NextBelow(sim.members.size())],
+                            keys.Next(&rng))
+                    .ok());
+  }
+  net::PeerId victim = sim.members[17];
+  uint64_t victim_keys = sim.tree.node(victim).data.size();
+  uint64_t before_total = sim.tree.total_keys();
+
+  sim.tree.Fail(victim);
+  EXPECT_FALSE(sim.net.IsAlive(victim));
+  EXPECT_EQ(sim.tree.pending_failures().size(), 1u);
+
+  ASSERT_TRUE(sim.tree.RecoverAllFailures().ok());
+  sim.members.erase(sim.members.begin() + 17);
+  EXPECT_EQ(sim.tree.size(), 59u);
+  EXPECT_EQ(sim.tree.lost_keys(), victim_keys);
+  EXPECT_EQ(sim.tree.total_keys(), before_total - victim_keys);
+  sim.tree.CheckInvariants();
+
+  // The reclaimed range answers queries again.
+  for (int q = 0; q < 100; ++q) {
+    ASSERT_TRUE(sim.tree
+                    .ExactSearch(sim.members[rng.NextBelow(sim.members.size())],
+                                 keys.Next(&rng))
+                    .ok());
+  }
+}
+
+TEST(D3TreeFailure, MultipleFailuresBeforeOneRecovery) {
+  Sim sim;
+  Rng rng(23);
+  sim.Grow(80, &rng);
+  // Fail three peers -- including two in-order neighbours if possible --
+  // before any recovery runs, then repair everything in one pass.
+  std::vector<net::PeerId> order = sim.tree.Members();
+  sim.tree.Fail(order[10]);
+  sim.tree.Fail(order[11]);
+  sim.tree.Fail(order[40]);
+  ASSERT_TRUE(sim.tree.RecoverAllFailures().ok());
+  EXPECT_EQ(sim.tree.size(), 77u);
+  EXPECT_TRUE(sim.tree.pending_failures().empty());
+  sim.tree.CheckInvariants();
+}
+
+TEST(D3TreeFailure, GracefulLeaveBesideDeadPeerKeepsLeaverKeys) {
+  // Regression: the leaver's receiver preference must skip a pending
+  // (unrecovered) failed neighbour, or the gracefully departing keys get
+  // absorbed into the dead peer's bag and counted lost at recovery.
+  Sim sim;
+  Rng rng(29);
+  sim.Grow(50, &rng);
+  workload::UniformKeys keys(1, 1000000000);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(sim.tree
+                    .Insert(sim.members[rng.NextBelow(sim.members.size())],
+                            keys.Next(&rng))
+                    .ok());
+  }
+  // A mid-chain in-order pair (leaver, right neighbour) in the same bucket:
+  // the old preference order handed the leaver's content to the right
+  // neighbour unconditionally.
+  std::vector<net::PeerId> order = sim.tree.Members();
+  net::PeerId leaver = net::kNullPeer, victim = net::kNullPeer;
+  for (size_t i = 1; i + 1 < order.size(); ++i) {
+    if (sim.tree.node(order[i]).bucket == sim.tree.node(order[i + 1]).bucket) {
+      leaver = order[i];
+      victim = order[i + 1];
+      break;
+    }
+  }
+  ASSERT_NE(leaver, net::kNullPeer);
+  uint64_t victim_keys = sim.tree.node(victim).data.size();
+  uint64_t total_before = sim.tree.total_keys();
+
+  sim.tree.Fail(victim);
+  ASSERT_TRUE(sim.tree.Leave(leaver).ok());
+  ASSERT_TRUE(sim.tree.RecoverAllFailures().ok());
+  sim.tree.CheckInvariants();
+  // Only the victim's own keys are lost; the leaver's survived the detour.
+  EXPECT_EQ(sim.tree.lost_keys(), victim_keys);
+  EXPECT_EQ(sim.tree.total_keys(), total_before - victim_keys);
+}
+
+TEST(D3TreeBasics, SaturatedDomainRefusesJoinCleanly) {
+  // Regression: with every peer managing a single value the donor walk must
+  // scan both directions and the join must fail with Exhausted, not crash.
+  d3tree::D3Config cfg;
+  cfg.domain_lo = 1;
+  cfg.domain_hi = 10;  // at most 9 width-1 peers
+  Sim sim(cfg);
+  Rng rng(13);
+  sim.members.push_back(sim.tree.Bootstrap());
+  int joined = 1;
+  for (int i = 0; i < 20; ++i) {
+    auto r = sim.tree.Join(sim.members[rng.NextBelow(sim.members.size())]);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kExhausted);
+      break;
+    }
+    sim.members.push_back(r.value());
+    ++joined;
+  }
+  EXPECT_EQ(joined, 9);
+  sim.tree.CheckInvariants();
+  // A saturated overlay still serves queries.
+  auto q = sim.tree.ExactSearch(sim.members[0], 5);
+  ASSERT_TRUE(q.ok());
+}
+
+TEST(D3TreeDeterminism, IdenticalRunsProduceIdenticalTreesAndCounters) {
+  auto run = [](uint64_t seed) {
+    auto sim = std::make_unique<Sim>();
+    Rng rng(seed);
+    sim->Grow(300, &rng);
+    workload::UniformKeys keys(1, 1000000000);
+    for (int i = 0; i < 300; ++i) {
+      EXPECT_TRUE(
+          sim->tree
+              .Insert(sim->members[rng.NextBelow(sim->members.size())],
+                      keys.Next(&rng))
+              .ok());
+    }
+    for (int i = 0; i < 50; ++i) sim->LeaveRandom(&rng);
+    return std::make_pair(sim->net.total_messages(), sim->tree.Members());
+  };
+  auto a = run(9001);
+  auto b = run(9001);
+  // The protocol itself draws no randomness: same driver stream, same
+  // tree, same message bill.
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// The differential property against the reference backend: BATON and
+// D3-Tree driven through the same trace (same seed, same rng stream) must
+// agree on every query answer -- found/not-found per exact query and match
+// count per range query -- and end with identical key totals.
+TEST(D3TreeDifferential, BatonAndD3TreeAgreeOnAllAnswers) {
+  constexpr size_t kN = 48;
+  constexpr uint64_t kSeed = 77;
+
+  auto make_trace = [&](Rng* rng, workload::KeyGenerator* gen) {
+    workload::ChurnMix mix;
+    mix.joins = 10;
+    mix.leaves = 10;
+    mix.inserts = 300;
+    mix.exacts = 200;
+    mix.ranges = 40;
+    mix.range_width = 50000000;
+    return workload::MakeChurnTrace(rng, gen, mix);
+  };
+
+  workload::ReplayOptions opts;
+  opts.record_answers = true;
+
+  std::vector<workload::ReplayResult> results;
+  std::vector<uint64_t> key_totals;
+  for (const std::string name : {"baton", "d3tree"}) {
+    SCOPED_TRACE(name);
+    overlay::Config cfg;
+    cfg.seed = kSeed;
+    auto ov = overlay::Make(name, cfg);
+    ASSERT_NE(ov, nullptr);
+    Rng grow_rng(Mix64(kSeed));
+    std::vector<net::PeerId> members{ov->Bootstrap()};
+    while (members.size() < kN) {
+      auto st = ov->Join(members[grow_rng.NextBelow(members.size())]);
+      ASSERT_TRUE(st.ok()) << st.status.ToString();
+      members.push_back(st.peer);
+    }
+    Rng load_rng(123);
+    workload::UniformKeys load_keys(1, 1000000000);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(ov->Insert(members[load_rng.NextBelow(members.size())],
+                             load_keys.Next(&load_rng))
+                      .ok());
+    }
+    Rng trace_rng(999);
+    workload::UniformKeys gen(1, 1000000000);
+    auto trace = make_trace(&trace_rng, &gen);
+    Rng replay_rng(31337);
+    results.push_back(
+        workload::Replay(*ov, trace, &replay_rng, &members, opts));
+    ov->CheckInvariants();
+    key_totals.push_back(ov->total_keys());
+  }
+
+  const auto& baton_res = results[0];
+  const auto& d3_res = results[1];
+  ASSERT_EQ(baton_res.exact_found.size(), 200u);
+  ASSERT_EQ(d3_res.exact_found.size(), 200u);
+  EXPECT_EQ(baton_res.exact_found, d3_res.exact_found);
+  ASSERT_EQ(baton_res.range_matches.size(), 40u);
+  EXPECT_EQ(baton_res.range_matches, d3_res.range_matches);
+  EXPECT_EQ(key_totals[0], key_totals[1]);
+  // Sanity: the trace exercised both hit and miss paths.
+  EXPECT_GT(std::count(baton_res.exact_found.begin(),
+                       baton_res.exact_found.end(), false),
+            0);
+}
+
+TEST(D3TreeOverlayAdapter, RegisteredWithExpectedCapabilities) {
+  auto ov = overlay::Make("d3tree");
+  ASSERT_NE(ov, nullptr);
+  EXPECT_TRUE(ov->Supports(overlay::kRangeSearch));
+  EXPECT_TRUE(ov->Supports(overlay::kOrderedGrowth));
+  EXPECT_TRUE(ov->Supports(overlay::kLoadBalance));
+  EXPECT_TRUE(ov->Supports(overlay::kFailRecovery));
+  EXPECT_FALSE(ov->Supports(overlay::kReplication));
+  ov->Bootstrap();
+  EXPECT_EQ(ov->size(), 1u);
+  // The checked downcast reaches backend-specific introspection.
+  EXPECT_EQ(overlay::D3TreeBackend(*ov).bucket_count(), 1u);
+
+  // Config plumbing: d3tree section reaches the backend.
+  overlay::Config cfg;
+  cfg.d3tree.domain_lo = 100;
+  cfg.d3tree.domain_hi = 200;
+  cfg.d3tree.bucket_target = 5;
+  auto custom = overlay::Make("d3tree", cfg);
+  EXPECT_EQ(overlay::D3TreeBackend(*custom).config().domain_lo, 100);
+  EXPECT_EQ(overlay::D3TreeBackend(*custom).EffectiveTarget(), 5u);
+}
+
+}  // namespace
+}  // namespace baton

@@ -54,6 +54,7 @@ TEST(OverlayRegistry, BuiltinsRegistered) {
   auto names = overlay::RegisteredNames();
   EXPECT_TRUE(std::count(names.begin(), names.end(), "baton") == 1);
   EXPECT_TRUE(std::count(names.begin(), names.end(), "chord") == 1);
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "d3tree") == 1);
   EXPECT_TRUE(std::count(names.begin(), names.end(), "multiway") == 1);
   for (const auto& name : names) {
     EXPECT_TRUE(overlay::IsRegistered(name));
@@ -109,6 +110,13 @@ TEST(OverlayCapabilities, MatchBackendFeatureSets) {
   EXPECT_TRUE(m->Supports(Capability::kRangeSearch));
   EXPECT_FALSE(m->Supports(Capability::kFailRecovery));
   EXPECT_TRUE(m->Supports(Capability::kOrderedGrowth));
+
+  auto d = Make("d3tree");
+  EXPECT_TRUE(d->Supports(Capability::kRangeSearch));
+  EXPECT_TRUE(d->Supports(Capability::kFailRecovery));
+  EXPECT_TRUE(d->Supports(Capability::kLoadBalance));
+  EXPECT_TRUE(d->Supports(Capability::kOrderedGrowth));
+  EXPECT_FALSE(d->Supports(Capability::kReplication));
 
   EXPECT_EQ(overlay::CapabilitiesToString(0), "-");
   EXPECT_EQ(overlay::CapabilitiesToString(Capability::kRangeSearch |

@@ -19,9 +19,16 @@
 // and the search/range latency columns report simulated critical-path ticks
 // (0 when no model is given; the message/hop columns are unaffected).
 //
+// The hops_p50/p99 and lat_p50/p99 columns come from mergeable log-bucket
+// histograms filled during the same replay (one sample per exact search),
+// and with --trace=PATH / --metrics=PATH each task additionally records a
+// causal op/message trace (Chrome trace-event JSON, Perfetto-loadable) and
+// a metrics snapshot.
+//
 //   ./bench_compare_overlays --sizes=200 --seeds=1
 //   ./bench_compare_overlays --overlay=baton,chord,d3tree --sizes=1000
 //   ./bench_compare_overlays --sizes=500 --latency=uniform:5,20 --threads=4
+//   ./bench_compare_overlays --sizes=200 --trace=trace.json --metrics=m.json
 #include <string>
 
 #include "bench_common/experiment.h"
@@ -42,6 +49,13 @@ struct SeedSample {
   bool range_supported = true;
   double maint = 0;
   bool has_maint = false;
+  /// Full exact-search distributions (mergeable across seeds) behind the
+  /// mean columns, so the table can report p50/p99 tails.
+  obs::LogHistogram search_hops_hist, search_lat_hist;
+  /// Per-task observability collector, kept alive past the Instance so
+  /// --trace/--metrics can serialize it after all tasks finish (null when
+  /// observability is off -- the zero-overhead default).
+  std::unique_ptr<obs::Observer> observer;
 };
 
 SeedSample RunSeed(const std::string& name, size_t n, int s,
@@ -68,6 +82,12 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
   // timed, construction is not (and the protocol rng streams are
   // untouched either way).
   AttachLatency(&inst, opt.latency, seed);
+  // Same post-build attachment for observability: spans/metrics cover the
+  // replayed ops, not construction, and with neither --trace nor --metrics
+  // the overlay runs with a null observer (no per-message work at all).
+  if (opt.obs_enabled()) {
+    AttachObserver(&inst, /*tracing=*/!opt.trace_path.empty());
+  }
 
   workload::ChurnMix mix;
   mix.joins = n / 10;
@@ -105,6 +125,9 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
     out.maint = static_cast<double>(MaintenanceDelta(before, after)) /
                 static_cast<double>(churn_ops);
   }
+  out.search_hops_hist = res.of(OpType::kExact).hops_hist;
+  out.search_lat_hist = res.of(OpType::kExact).latency_hist;
+  out.observer = std::move(inst.observer);
   return out;
 }
 
@@ -116,8 +139,9 @@ void Run(const Options& opt) {
         return RunSeed(t.overlay, t.n, t.seed, opt);
       });
 
-  TablePrinter table({"N", "overlay", "caps", "search_hops", "search_msgs",
-                      "search_lat", "range_msgs", "range_lat", "insert_msgs",
+  TablePrinter table({"N", "overlay", "caps", "search_hops", "hops_p50",
+                      "hops_p99", "search_msgs", "search_lat", "lat_p50",
+                      "lat_p99", "range_msgs", "range_lat", "insert_msgs",
                       "join_msgs", "leave_msgs", "maint_per_churn"});
   size_t idx = 0;
   for (size_t n : opt.sizes) {
@@ -126,6 +150,7 @@ void Run(const Options& opt) {
         RunningStat search_hops, search_msgs, search_lat, range_msgs,
             range_lat;
         RunningStat insert_msgs, join_msgs, leave_msgs, maint_msgs;
+        obs::LogHistogram hops_hist, lat_hist;
         bool range_supported = true;
       } st;
       for (int s = 0; s < opt.seeds; ++s) {
@@ -133,6 +158,8 @@ void Run(const Options& opt) {
         st.search_hops.Add(r.search_hops);
         st.search_msgs.Add(r.search_msgs);
         st.search_lat.Add(r.search_lat);
+        st.hops_hist.Merge(r.search_hops_hist);
+        st.lat_hist.Merge(r.search_lat_hist);
         st.insert_msgs.Add(r.insert_msgs);
         st.join_msgs.Add(r.join_msgs);
         st.leave_msgs.Add(r.leave_msgs);
@@ -145,11 +172,16 @@ void Run(const Options& opt) {
         if (r.has_maint) st.maint_msgs.Add(r.maint);
       }
       uint32_t caps = overlay::Make(name)->capabilities();
+      auto p = [](const obs::LogHistogram& h, double q) {
+        return TablePrinter::Int(static_cast<int64_t>(h.Quantile(q)));
+      };
       table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)), name,
                     overlay::CapabilitiesToString(caps),
                     TablePrinter::Num(st.search_hops.mean()),
+                    p(st.hops_hist, 0.50), p(st.hops_hist, 0.99),
                     TablePrinter::Num(st.search_msgs.mean()),
                     TablePrinter::Num(st.search_lat.mean()),
+                    p(st.lat_hist, 0.50), p(st.lat_hist, 0.99),
                     st.range_supported ? TablePrinter::Num(st.range_msgs.mean())
                                        : "n/a",
                     st.range_supported ? TablePrinter::Num(st.range_lat.mean())
@@ -161,6 +193,10 @@ void Run(const Options& opt) {
     }
   }
   Emit("Overlay comparison: same trace, every registered backend", table, opt);
+  std::vector<const obs::Observer*> observers;
+  observers.reserve(results.size());
+  for (const SeedSample& r : results) observers.push_back(r.observer.get());
+  WriteObsArtifacts(opt, tasks, observers);
 }
 
 }  // namespace

@@ -23,6 +23,10 @@
 // are aggregated in task order afterwards, keeping the output
 // byte-identical to a sequential run.
 //
+// hops_p50/p99 and lat_p50/p99 report the exact-search tails from
+// log-bucket histograms merged across seeds; --trace=PATH / --metrics=PATH
+// additionally record per-task causal traces and metrics snapshots.
+//
 //   ./bench_latency_query --sizes=200 --seeds=1
 //   ./bench_latency_query --overlay=baton,d3tree --latency=uniform:5,20
 #include <string>
@@ -42,6 +46,10 @@ struct SeedSample {
   std::vector<double> exact_hops, exact_lat;
   std::vector<double> range_msgs, range_lat, range_par;
   bool range_supported = true;
+  /// Same exact-search samples as distributions, for the tail columns.
+  obs::LogHistogram hops_hist, lat_hist;
+  /// Kept alive past the Instance for --trace/--metrics serialization.
+  std::unique_ptr<obs::Observer> observer;
 };
 
 SeedSample RunSeed(const std::string& name, size_t n, int s,
@@ -61,6 +69,9 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
     LoadOverlay(&inst, opt.keys_per_node, &keys, &load_rng);
   }
   AttachLatency(&inst, opt.latency, seed);
+  if (opt.obs_enabled()) {
+    AttachObserver(&inst, /*tracing=*/!opt.trace_path.empty());
+  }
 
   Rng rng(Mix64(seed ^ 0x1a7e));
   for (int q = 0; q < opt.queries; ++q) {
@@ -69,9 +80,12 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
     BATON_CHECK(st.ok()) << st.status.ToString();
     out.exact_hops.push_back(static_cast<double>(st.hops));
     out.exact_lat.push_back(static_cast<double>(st.latency_ticks));
+    out.hops_hist.Add(st.hops > 0 ? static_cast<uint64_t>(st.hops) : 0);
+    out.lat_hist.Add(st.latency_ticks);
   }
   if (!inst.overlay->Supports(overlay::kRangeSearch)) {
     out.range_supported = false;
+    out.observer = std::move(inst.observer);
     return out;
   }
   for (int q = 0; q < opt.queries; ++q) {
@@ -86,6 +100,7 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
                               static_cast<double>(st.latency_ticks));
     }
   }
+  out.observer = std::move(inst.observer);
   return out;
 }
 
@@ -97,27 +112,36 @@ void Run(const Options& opt) {
         return RunSeed(t.overlay, t.n, t.seed, opt);
       });
 
-  TablePrinter table({"N", "overlay", "exact_hops", "exact_lat", "range_msgs",
+  TablePrinter table({"N", "overlay", "exact_hops", "hops_p50", "hops_p99",
+                      "exact_lat", "lat_p50", "lat_p99", "range_msgs",
                       "range_lat", "range_par"});
   size_t idx = 0;
   for (size_t n : opt.sizes) {
     for (const std::string& name : overlays) {
       struct {
         RunningStat exact_hops, exact_lat, range_msgs, range_lat, range_par;
+        obs::LogHistogram hops_hist, lat_hist;
         bool range_supported = true;
       } st;
       for (int s = 0; s < opt.seeds; ++s) {
         const SeedSample& r = results[idx++];
         for (double v : r.exact_hops) st.exact_hops.Add(v);
         for (double v : r.exact_lat) st.exact_lat.Add(v);
+        st.hops_hist.Merge(r.hops_hist);
+        st.lat_hist.Merge(r.lat_hist);
         if (!r.range_supported) st.range_supported = false;
         for (double v : r.range_msgs) st.range_msgs.Add(v);
         for (double v : r.range_lat) st.range_lat.Add(v);
         for (double v : r.range_par) st.range_par.Add(v);
       }
+      auto p = [](const obs::LogHistogram& h, double q) {
+        return TablePrinter::Int(static_cast<int64_t>(h.Quantile(q)));
+      };
       table.AddRow({TablePrinter::Int(static_cast<int64_t>(n)), name,
                     TablePrinter::Num(st.exact_hops.mean()),
+                    p(st.hops_hist, 0.50), p(st.hops_hist, 0.99),
                     TablePrinter::Num(st.exact_lat.mean()),
+                    p(st.lat_hist, 0.50), p(st.lat_hist, 0.99),
                     st.range_supported ? TablePrinter::Num(st.range_msgs.mean())
                                        : "n/a",
                     st.range_supported ? TablePrinter::Num(st.range_lat.mean())
@@ -127,6 +151,10 @@ void Run(const Options& opt) {
     }
   }
   Emit("Query latency vs network size (ticks, critical path)", table, opt);
+  std::vector<const obs::Observer*> observers;
+  observers.reserve(results.size());
+  for (const SeedSample& r : results) observers.push_back(r.observer.get());
+  WriteObsArtifacts(opt, tasks, observers);
 }
 
 }  // namespace

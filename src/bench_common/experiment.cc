@@ -5,7 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
+
+#include "obs/trace.h"
 
 namespace baton {
 namespace bench {
@@ -97,8 +100,9 @@ void MirrorTableToJson(const std::string& title, const TablePrinter& table) {
   std::fseek(g_json.file, g_json.body_end, SEEK_SET);
   const auto& headers = table.headers();
   for (const auto& row : table.rows()) {
-    std::fprintf(g_json.file, "%s\n  {\"table\": \"%s\"",
-                 g_json.any_rows ? "," : "", JsonEscape(title).c_str());
+    std::fprintf(g_json.file, "%s\n  {\"schema\": %d, \"table\": \"%s\"",
+                 g_json.any_rows ? "," : "", kBenchJsonSchema,
+                 JsonEscape(title).c_str());
     g_json.any_rows = true;
     for (size_t c = 0; c < headers.size() && c < row.size(); ++c) {
       if (LooksNumeric(row[c])) {
@@ -183,6 +187,12 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "(ticks);\n"
       "                        enables simulated per-op latency reporting\n"
       "  --json=PATH           mirror every table into PATH as JSON rows\n"
+      "  --trace=PATH          write a Chrome trace-event JSON (open in\n"
+      "                        Perfetto) of every replayed op + message\n"
+      "                        (observability-aware benches only)\n"
+      "  --metrics=PATH        write per-task obs metrics snapshots as "
+      "JSON\n"
+      "                        (observability-aware benches only)\n"
       "  --help                print this message and exit\n",
       argv0, JoinedRegisteredNames().c_str());
 }
@@ -247,6 +257,61 @@ void AttachLatency(Instance* inst, const LatencySpec& spec, uint64_t seed) {
                                Mix64(seed ^ 0x11c0));
 }
 
+void AttachObserver(Instance* inst, bool tracing) {
+  inst->observer = std::make_unique<obs::Observer>(tracing);
+  inst->overlay->AttachObserver(inst->observer.get());
+}
+
+void WriteObsArtifacts(const Options& opt, const std::vector<SeedTask>& tasks,
+                       const std::vector<const obs::Observer*>& observers) {
+  BATON_CHECK(tasks.size() == observers.size())
+      << "observers must align with tasks";
+  auto label = [&](size_t i) {
+    return tasks[i].overlay + " N=" + std::to_string(tasks[i].n) +
+           " seed=" + std::to_string(tasks[i].seed);
+  };
+  if (!opt.trace_path.empty()) {
+    std::vector<obs::TraceProcess> procs;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (observers[i] == nullptr || observers[i]->trace() == nullptr) {
+        continue;
+      }
+      procs.push_back({label(i), observers[i]->trace()});
+    }
+    std::ofstream out(opt.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --trace file %s\n",
+                   opt.trace_path.c_str());
+      std::exit(2);
+    }
+    obs::WriteChromeTrace(out, procs);
+    std::printf("wrote trace (%zu processes) to %s\n", procs.size(),
+                opt.trace_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --metrics file %s\n",
+                   opt.metrics_path.c_str());
+      std::exit(2);
+    }
+    out << "[";
+    bool any = false;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (observers[i] == nullptr) continue;
+      out << (any ? "," : "") << "\n  {\"schema\": " << kBenchJsonSchema
+          << ", \"overlay\": \"" << JsonEscape(tasks[i].overlay)
+          << "\", \"N\": " << tasks[i].n << ", \"seed\": " << tasks[i].seed
+          << ", \"metrics\": ";
+      observers[i]->metrics().AppendJson(out);
+      out << "}";
+      any = true;
+    }
+    out << "\n]\n";
+    std::printf("wrote metrics snapshots to %s\n", opt.metrics_path.c_str());
+  }
+}
+
 Options ParseOptions(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -283,6 +348,18 @@ Options ParseOptions(int argc, char** argv) {
       opt.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
     } else if (std::strncmp(a, "--latency=", 10) == 0) {
       opt.latency = ParseLatencySpec(a + 10);
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      opt.trace_path = a + 8;
+      if (opt.trace_path.empty()) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+      opt.metrics_path = a + 10;
+      if (opt.metrics_path.empty()) {
+        std::fprintf(stderr, "--metrics needs a file path\n");
+        std::exit(2);
+      }
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       // Last occurrence wins, like every other repeatable flag; the mirror
       // is opened once, after the loop.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "baton/baton.h"
+#include "obs/observer.h"
 #include "overlay/registry.h"
 #include "sim/latency.h"
 #include "util/stats.h"
@@ -68,13 +69,33 @@ struct Options {
   /// --json=PATH: mirror every Emit'd table into PATH as a JSON array of
   /// row objects (see SetJsonMirror). Empty = no mirror.
   std::string json_path;
+  /// --trace=PATH: record a causal op/message trace per bench task and
+  /// write one merged Chrome trace-event JSON file (open in Perfetto).
+  /// Honoured by the observability-aware benches (bench_compare_overlays,
+  /// bench_latency_query). Empty = tracing off.
+  std::string trace_path;
+  /// --metrics=PATH: write one obs::Registry JSON snapshot per bench task
+  /// (an array of {overlay, N, seed, metrics} objects). Empty = off.
+  std::string metrics_path;
+
+  /// Observability is wanted when either artifact path is set.
+  bool obs_enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
 };
+
+/// Schema version stamped into every JSON row/snapshot the bench harness
+/// writes (the "schema" field), so BENCH trajectory artifacts stay
+/// self-describing across PRs. Bump when a JSON shape changes:
+///   1  PR 4's bare row objects (no schema field)
+///   2  adds the schema field itself, obs artifacts, percentile columns
+inline constexpr int kBenchJsonSchema = 2;
 
 /// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
 /// --sizes=a,b,c, --seed=S, --overlay=name[,name...], --threads=N,
-/// --latency=const:N|uniform:LO,HI, --json=PATH, --list-overlays (prints
-/// overlay::RegisteredNames() one per line, exits 0), --help (prints usage,
-/// exits 0). Unknown flags print the usage and exit 2; usage and the
+/// --latency=const:N|uniform:LO,HI, --json=PATH, --trace=PATH,
+/// --metrics=PATH, --list-overlays (prints overlay::RegisteredNames() one
+/// per line, exits 0), --help (prints usage, exits 0). Unknown flags print the usage and exit 2; usage and the
 /// --overlay rejection message both list the registered backends from the
 /// registry, so new backends appear without touching this file.
 Options ParseOptions(int argc, char** argv);
@@ -161,6 +182,10 @@ struct Instance {
   std::unique_ptr<sim::EventQueue> queue;
   std::unique_ptr<sim::LatencyModel> latency;
 
+  /// Observability collector; set by AttachObserver (null until then, and
+  /// the overlay runs unobserved -- the zero-overhead default).
+  std::unique_ptr<obs::Observer> observer;
+
   net::Network* net() { return overlay->network(); }
 };
 
@@ -169,6 +194,21 @@ struct Instance {
 /// The sampling rng is seeded from `seed` independently of every protocol
 /// rng, so message counts and protocol decisions are unaffected.
 void AttachLatency(Instance* inst, const LatencySpec& spec, uint64_t seed);
+
+/// Attaches an obs::Observer owned by the instance (metrics always;
+/// a causal trace too when `tracing`). Subsequent operations open spans and
+/// feed the registry. The attachment mirrors AttachLatency: per instance,
+/// opt-in, and a no-op for benches that never call it.
+void AttachObserver(Instance* inst, bool tracing);
+
+/// Writes the observability artifacts opt.trace_path / opt.metrics_path
+/// request, from per-task observers aligned with `tasks` (null entries --
+/// tasks that ran unobserved -- are skipped). The trace file holds one
+/// Chrome trace "process" per task, labelled "<overlay> N=<n> seed=<s>";
+/// the metrics file holds a JSON array of per-task registry snapshots.
+/// Prints a one-line note per file written.
+void WriteObsArtifacts(const Options& opt, const std::vector<SeedTask>& tasks,
+                       const std::vector<const obs::Observer*>& observers);
 
 /// Builds an overlay of n `name`-backend nodes joined via random contacts.
 /// When `preload` is non-null, keys_per_node * n keys are loaded before

@@ -137,5 +137,20 @@ MsgCategory CategoryOf(MsgType t) {
   return MsgCategory::kOther;
 }
 
+const char* MsgCategoryName(MsgCategory c) {
+  switch (c) {
+    case MsgCategory::kJoinSearch: return "join_search";
+    case MsgCategory::kLeaveSearch: return "leave_search";
+    case MsgCategory::kMaintenance: return "maintenance";
+    case MsgCategory::kFailure: return "failure";
+    case MsgCategory::kQuery: return "query";
+    case MsgCategory::kData: return "data";
+    case MsgCategory::kLoadBalance: return "load_balance";
+    case MsgCategory::kReplication: return "replication";
+    case MsgCategory::kOther: return "other";
+  }
+  return "other";
+}
+
 }  // namespace net
 }  // namespace baton

@@ -107,6 +107,10 @@ enum class MsgCategory : uint8_t {
 
 MsgCategory CategoryOf(MsgType t);
 
+/// Lowercase category tag ("maintenance", "query", ...), for metric names
+/// and bench output.
+const char* MsgCategoryName(MsgCategory c);
+
 }  // namespace net
 }  // namespace baton
 

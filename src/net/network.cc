@@ -43,6 +43,11 @@ void Network::Count(PeerId from, PeerId to, MsgType type) {
   if (alive_[to]) {
     ++processed_[to][static_cast<size_t>(CategoryOf(type))];
   }
+  // Observability event ticks: virtual times on the sim clock when a kernel
+  // is attached, otherwise the (just-incremented) global message index --
+  // either way causally ordered and fully deterministic.
+  uint64_t send_tick = snapshot_.total;
+  uint64_t deliver_tick = snapshot_.total;
   if (sim_queue_ != nullptr) {
     // Critical-path timing: the message departs when its sender last became
     // available in this window (a fresh origin departs at 0), and arrives
@@ -61,6 +66,11 @@ void Network::Count(PeerId from, PeerId to, MsgType type) {
     // outside any window share the clock position of the last window.
     sim::Time base = std::max(window_start_, sim_queue_->now());
     sim_queue_->ScheduleAt(base + arrives, [this] { ++sim_delivered_; });
+    send_tick = base + departs;
+    deliver_tick = base + arrives;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnMessage(from, to, type, send_tick, deliver_tick);
   }
 }
 

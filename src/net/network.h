@@ -43,6 +43,18 @@ namespace net {
 using PeerId = uint32_t;
 inline constexpr PeerId kNullPeer = static_cast<PeerId>(-1);
 
+/// Observability hook: one callback per counted message. Implemented by
+/// obs::Observer; net/ only sees this interface so the layering stays
+/// net <- obs <- overlay. `send_tick`/`deliver_tick` are virtual times on
+/// the sim/ kernel's clock when one is attached; otherwise both equal the
+/// global message index, which still orders every event causally.
+class MessageObserver {
+ public:
+  virtual ~MessageObserver() = default;
+  virtual void OnMessage(PeerId from, PeerId to, MsgType type,
+                         uint64_t send_tick, uint64_t deliver_tick) = 0;
+};
+
 /// Cheap value snapshot of the counters; diff two snapshots to get the cost
 /// of one operation.
 struct CounterSnapshot {
@@ -122,6 +134,21 @@ class Network {
   /// Delivery events processed since AttachSim (one per counted message).
   uint64_t sim_delivered() const { return sim_delivered_; }
 
+  // ---- Observability (obs/ attachment) -------------------------------------
+  /// Attaches a message observer: every subsequent Count() reports the
+  /// message (with its virtual send/deliver ticks) to `obs`. Non-owning;
+  /// pass nullptr to detach. Opt-in like AttachSim: with no observer
+  /// attached the counting path is untouched -- no allocations, identical
+  /// behaviour.
+  void AttachObserver(MessageObserver* obs) { observer_ = obs; }
+  MessageObserver* observer() const { return observer_; }
+
+  /// The clock observability events are stamped with: the sim/ kernel's
+  /// virtual time when attached, otherwise the global message index.
+  uint64_t ObsClock() const {
+    return sim_queue_ != nullptr ? sim_queue_->now() : snapshot_.total;
+  }
+
   // ---- Deferred updates (network dynamics, Fig. 8(i)) ----------------------
   /// While deferring, Apply() queues the closure instead of running it.
   /// This models "it takes some time for the network to update knowledge of
@@ -157,6 +184,8 @@ class Network {
 
   bool defer_updates_ = false;
   std::deque<std::function<void()>> deferred_;
+
+  MessageObserver* observer_ = nullptr;
 
   // ---- sim attachment state ----
   /// "Message available at" frontier entry: the virtual time (relative to

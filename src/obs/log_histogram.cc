@@ -1,0 +1,96 @@
+#include "obs/log_histogram.h"
+
+#include <cstdio>
+
+namespace baton {
+namespace obs {
+
+int LogHistogram::BucketIndex(uint64_t value) {
+  if (value < kExactLimit) return static_cast<int>(value);
+  int msb = 63 - __builtin_clzll(value);  // >= kExactBits here
+  return static_cast<int>(kExactLimit) + (msb - kExactBits);
+}
+
+uint64_t LogHistogram::BucketLow(int i) {
+  if (i < static_cast<int>(kExactLimit)) return static_cast<uint64_t>(i);
+  return uint64_t{1} << (kExactBits + (i - static_cast<int>(kExactLimit)));
+}
+
+void LogHistogram::Add(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
+  count_ += count;
+  sum_ += value * count;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void LogHistogram::Clear() { *this = LogHistogram{}; }
+
+double LogHistogram::Mean() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the order statistic we estimate (1-based), matching
+  // Histogram::Percentile: at least ceil(q * count) samples <= the answer.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  // The extreme order statistics are tracked exactly; answering them from
+  // min_/max_ beats any bucket representative (p0 = min, p100 = max).
+  if (rank == 1) return min_;
+  if (rank == count_) return max_;
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[static_cast<size_t>(i)];
+    if (cum < rank) continue;
+    if (i < static_cast<int>(kExactLimit)) return static_cast<uint64_t>(i);
+    // Mid-bucket representative, clamped to the observed extremes so
+    // saturated tails (every sample in one bucket) report real values.
+    uint64_t lo = BucketLow(i);
+    uint64_t mid = lo + lo / 2;
+    if (mid < min_) mid = min_;
+    if (mid > max_) mid = max_;
+    return mid;
+  }
+  return max();  // unreachable: cum reaches count_ >= rank
+}
+
+bool LogHistogram::operator==(const LogHistogram& other) const {
+  return buckets_ == other.buckets_ && count_ == other.count_ &&
+         sum_ == other.sum_ && min() == other.min() && max() == other.max();
+}
+
+std::string LogHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu mean=%.2f p50=%llu p90=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Quantile(0.50)),
+                static_cast<unsigned long long>(Quantile(0.90)),
+                static_cast<unsigned long long>(Quantile(0.99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace baton

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace baton {
+namespace obs {
+
+namespace {
+
+/// Minimal JSON string escape (metric names are plain identifiers, but the
+/// writer must never emit invalid JSON whatever the caller named things).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendHistJson(std::ostream& out, const LogHistogram& h) {
+  out << "{\"count\": " << h.count() << ", \"mean\": " << h.Mean()
+      << ", \"p50\": " << h.Quantile(0.50) << ", \"p90\": " << h.Quantile(0.90)
+      << ", \"p99\": " << h.Quantile(0.99) << ", \"max\": " << h.max() << "}";
+}
+
+}  // namespace
+
+uint64_t& Registry::Counter(const std::string& name) {
+  return counters_[name];
+}
+
+int64_t& Registry::Gauge(const std::string& name) { return gauges_[name]; }
+
+LogHistogram& Registry::Hist(const std::string& name) { return hists_[name]; }
+
+std::vector<uint64_t>& Registry::PerNode(const std::string& family) {
+  return per_node_[family];
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t Registry::GaugeValue(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const LogHistogram* Registry::FindHist(const std::string& name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint64_t>* Registry::FindPerNode(
+    const std::string& family) const {
+  auto it = per_node_.find(family);
+  return it == per_node_.end() ? nullptr : &it->second;
+}
+
+LogHistogram Registry::NodeLoad(const std::string& family, size_t n) const {
+  LogHistogram dist;
+  const std::vector<uint64_t>* fam = FindPerNode(family);
+  for (size_t i = 0; i < n; ++i) {
+    dist.Add(fam != nullptr && i < fam->size() ? (*fam)[i] : 0);
+  }
+  return dist;
+}
+
+void Registry::Merge(const Registry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] += v;
+  for (const auto& [name, h] : other.hists_) hists_[name].Merge(h);
+  for (const auto& [family, vec] : other.per_node_) {
+    std::vector<uint64_t>& mine = per_node_[family];
+    if (mine.size() < vec.size()) mine.resize(vec.size(), 0);
+    for (size_t i = 0; i < vec.size(); ++i) mine[i] += vec[i];
+  }
+}
+
+std::string Registry::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters_) {
+    out << name << ": " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    out << name << ": " << v << " (gauge)\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    out << name << ": " << h.Summary() << "\n";
+  }
+  for (const auto& [family, vec] : per_node_) {
+    LogHistogram dist = NodeLoad(family, vec.size());
+    out << family << " (" << vec.size() << " nodes): " << dist.Summary()
+        << "\n";
+  }
+  return out.str();
+}
+
+void Registry::AppendJson(std::ostream& out) const {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    out << (first ? "" : ", ") << "\"" << Escape(name) << "\": " << v;
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    out << (first ? "" : ", ") << "\"" << Escape(name) << "\": " << v;
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : hists_) {
+    out << (first ? "" : ", ") << "\"" << Escape(name) << "\": ";
+    AppendHistJson(out, h);
+    first = false;
+  }
+  out << "}, \"per_node\": {";
+  first = true;
+  for (const auto& [family, vec] : per_node_) {
+    LogHistogram dist = NodeLoad(family, vec.size());
+    out << (first ? "" : ", ") << "\"" << Escape(family)
+        << "\": {\"nodes\": " << vec.size() << ", \"sum\": " << dist.sum()
+        << ", \"mean\": " << dist.Mean() << ", \"max\": " << dist.max()
+        << ", \"p50\": " << dist.Quantile(0.50)
+        << ", \"p99\": " << dist.Quantile(0.99) << "}";
+    first = false;
+  }
+  out << "}}";
+}
+
+}  // namespace obs
+}  // namespace baton

@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include "net/message.h"
+#include "util/check.h"
+
+namespace baton {
+namespace obs {
+
+namespace {
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    // Labels are bench-generated ("baton N=200 seed=0"); control characters
+    // would be a caller bug, but never corrupt the JSON over it.
+    out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::BeginSpan(const char* name, uint64_t tick) {
+  BATON_CHECK(!span_open_) << "op spans do not nest (open: " << open_.name
+                           << ", opening: " << name << ")";
+  open_ = OpSpan{};
+  open_.name = name;
+  open_.begin = tick;
+  span_open_ = true;
+}
+
+void TraceRecorder::EndSpan(uint64_t tick, bool ok, uint32_t peer, int hops,
+                            uint64_t messages, uint64_t latency_ticks) {
+  BATON_CHECK(span_open_) << "EndSpan without a matching BeginSpan";
+  open_.end = tick;
+  open_.ok = ok;
+  open_.peer = peer;
+  open_.hops = hops;
+  open_.messages = messages;
+  open_.latency_ticks = latency_ticks;
+  spans_.push_back(open_);
+  span_open_ = false;
+}
+
+void TraceRecorder::AddMessage(uint32_t from, uint32_t to, uint16_t type,
+                               uint64_t send, uint64_t deliver) {
+  msgs_.push_back(MsgEvent{send, deliver, from, to, type});
+}
+
+void WriteChromeTrace(std::ostream& out,
+                      const std::vector<TraceProcess>& processes) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&]() {
+    out << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (size_t pid = 0; pid < processes.size(); ++pid) {
+    const TraceProcess& proc = processes[pid];
+    sep();
+    out << " {\"ph\": \"M\", \"pid\": " << pid
+        << ", \"name\": \"process_name\", \"args\": {\"name\": \""
+        << EscapeLabel(proc.label) << "\"}}";
+    for (const OpSpan& s : proc.recorder->spans()) {
+      sep();
+      out << " {\"ph\": \"X\", \"pid\": " << pid << ", \"tid\": 0, \"ts\": "
+          << s.begin << ", \"dur\": " << (s.end - s.begin) << ", \"cat\": "
+          << "\"op\", \"name\": \"" << s.name << "\", \"args\": {\"ok\": "
+          << (s.ok ? "true" : "false") << ", \"peer\": " << s.peer
+          << ", \"hops\": " << s.hops << ", \"messages\": " << s.messages
+          << ", \"latency_ticks\": " << s.latency_ticks << "}}";
+    }
+    for (const MsgEvent& m : proc.recorder->messages()) {
+      sep();
+      out << " {\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+          << ", \"tid\": 0, \"ts\": " << m.deliver << ", \"cat\": \"msg\", "
+          << "\"name\": \""
+          << net::MsgTypeName(static_cast<net::MsgType>(m.type))
+          << "\", \"args\": {\"from\": " << m.from << ", \"to\": " << m.to
+          << ", \"send\": " << m.send << "}}";
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace obs
+}  // namespace baton

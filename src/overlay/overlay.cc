@@ -8,15 +8,23 @@ namespace {
 /// Runs `fn(&st)` with counter snapshots and a sim measurement window
 /// around it, so st.messages is the exact message cost of the operation and
 /// st.latency_ticks its simulated critical-path time (0 with no latency
-/// model attached), whatever the backend did inside.
+/// model attached), whatever the backend did inside. With an observer
+/// attached the whole operation is additionally bracketed as one causal
+/// span named `op`, and its outcome feeds the per-op metrics.
 template <typename Fn>
-OpStats Measured(net::Network* net, Fn&& fn) {
+OpStats Measured(net::Network* net, obs::Observer* obs, const char* op,
+                 Fn&& fn) {
   OpStats st;
   net::CounterSnapshot before = net->Snapshot();
+  if (obs != nullptr) obs->BeginOp(op, net->ObsClock());
   net->BeginOpWindow();
   fn(&st);
   st.latency_ticks = net->EndOpWindow();
   st.messages = net::Network::Delta(before, net->Snapshot());
+  if (obs != nullptr) {
+    obs->EndOp(op, net->ObsClock(),
+               {st.ok(), st.peer, st.hops, st.messages, st.latency_ticks});
+  }
   return st;
 }
 
@@ -43,36 +51,42 @@ std::string CapabilitiesToString(uint32_t caps) {
 PeerId Overlay::Bootstrap() { return DoBootstrap(); }
 
 OpStats Overlay::Join(PeerId contact) {
-  return Measured(network(), [&](OpStats* st) { DoJoin(contact, st); });
+  return Measured(network(), observer(), "join",
+                  [&](OpStats* st) { DoJoin(contact, st); });
 }
 
 OpStats Overlay::Leave(PeerId leaver) {
-  return Measured(network(), [&](OpStats* st) { DoLeave(leaver, st); });
+  return Measured(network(), observer(), "leave",
+                  [&](OpStats* st) { DoLeave(leaver, st); });
 }
 
 OpStats Overlay::Fail(PeerId victim) {
-  return Measured(network(), [&](OpStats* st) { DoFail(victim, st); });
+  return Measured(network(), observer(), "fail",
+                  [&](OpStats* st) { DoFail(victim, st); });
 }
 
 OpStats Overlay::RecoverAllFailures() {
-  return Measured(network(), [&](OpStats* st) { DoRecoverAllFailures(st); });
+  return Measured(network(), observer(), "recover",
+                  [&](OpStats* st) { DoRecoverAllFailures(st); });
 }
 
 OpStats Overlay::Insert(PeerId from, Key key) {
-  return Measured(network(), [&](OpStats* st) { DoInsert(from, key, st); });
+  return Measured(network(), observer(), "insert",
+                  [&](OpStats* st) { DoInsert(from, key, st); });
 }
 
 OpStats Overlay::Delete(PeerId from, Key key) {
-  return Measured(network(), [&](OpStats* st) { DoDelete(from, key, st); });
+  return Measured(network(), observer(), "delete",
+                  [&](OpStats* st) { DoDelete(from, key, st); });
 }
 
 OpStats Overlay::ExactSearch(PeerId from, Key key) {
-  return Measured(network(),
+  return Measured(network(), observer(), "exact",
                   [&](OpStats* st) { DoExactSearch(from, key, st); });
 }
 
 OpStats Overlay::RangeSearch(PeerId from, Key lo, Key hi) {
-  return Measured(network(),
+  return Measured(network(), observer(), "range",
                   [&](OpStats* st) { DoRangeSearch(from, lo, hi, st); });
 }
 

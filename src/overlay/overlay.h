@@ -22,6 +22,7 @@
 
 #include "baton/types.h"
 #include "net/network.h"
+#include "obs/observer.h"
 #include "util/status.h"
 
 namespace baton {
@@ -108,6 +109,20 @@ class Overlay {
     network()->AttachSim(queue, latency, seed);
   }
 
+  /// Attaches an observability collector (same lifecycle contract as
+  /// AttachLatency: per instance, opt-in, non-owning, must outlive the
+  /// attachment; pass nullptr to detach). The measured wrapper then opens a
+  /// causal span per public operation and feeds its outcome into the
+  /// observer's metrics registry, while the network reports every counted
+  /// message into the open span. With no observer attached (the default)
+  /// the hot paths gain nothing but a null check -- no allocations, and all
+  /// bench output stays byte-identical.
+  void AttachObserver(obs::Observer* obs) {
+    obs_ = obs;
+    network()->AttachObserver(obs);
+  }
+  obs::Observer* observer() const { return obs_; }
+
   // ---- Membership ----------------------------------------------------------
   /// Creates the first node. Must be called exactly once, before any Join.
   PeerId Bootstrap();
@@ -157,6 +172,9 @@ class Overlay {
   /// Shared FailedPrecondition status for operations the backend opted out
   /// of via capabilities().
   Status Unsupported(const char* op) const;
+
+ private:
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace overlay

@@ -15,13 +15,31 @@ void Accumulate(OpAggregate* agg, const overlay::OpStats& st,
   agg->messages += st.messages;
   // hops is signed and some backends report a negative sentinel on failed
   // ops; a raw cast would wrap to ~2^64 and corrupt the aggregate.
-  if (st.hops > 0) agg->hops += static_cast<uint64_t>(st.hops);
+  uint64_t hops = st.hops > 0 ? static_cast<uint64_t>(st.hops) : 0;
+  agg->hops += hops;
   agg->latency += st.latency_ticks;
+  agg->hops_hist.Add(hops);
+  agg->messages_hist.Add(st.messages);
+  agg->latency_hist.Add(st.latency_ticks);
   res->total_messages += st.messages;
   res->total_latency += st.latency_ticks;
 }
 
 }  // namespace
+
+void OpAggregate::Merge(const OpAggregate& other) {
+  count += other.count;
+  ok += other.ok;
+  found += other.found;
+  skipped += other.skipped;
+  unsupported += other.unsupported;
+  messages += other.messages;
+  hops += other.hops;
+  latency += other.latency;
+  hops_hist.Merge(other.hops_hist);
+  messages_hist.Merge(other.messages_hist);
+  latency_hist.Merge(other.latency_hist);
+}
 
 ReplayResult Replay(overlay::Overlay& ov, const Trace& trace, Rng* rng,
                     std::vector<net::PeerId>* members,

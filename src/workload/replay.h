@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/log_histogram.h"
 #include "overlay/overlay.h"
 #include "util/rng.h"
 #include "workload/workload.h"
@@ -46,6 +47,17 @@ struct OpAggregate {
   uint64_t hops = 0;         // total OpStats::hops (negative hops clamp to 0)
   uint64_t latency = 0;      // total OpStats::latency_ticks
 
+  /// Full distributions behind the totals (one sample per executed op), so
+  /// replays report tail behaviour -- p50/p90/p99 -- not just means.
+  /// Log-bucketed and mergeable across seeds/tasks; empty for an OpType the
+  /// trace never executed (quantiles then read 0, like the means).
+  obs::LogHistogram hops_hist;
+  obs::LogHistogram messages_hist;
+  obs::LogHistogram latency_hist;
+
+  /// Combines another aggregate into this one (cross-seed bench rollups).
+  void Merge(const OpAggregate& other);
+
   double MeanMessages() const {
     return count == 0 ? 0.0
                       : static_cast<double>(messages) /
@@ -57,6 +69,10 @@ struct OpAggregate {
   }
   /// Mean simulated critical-path ticks per op (0 unless the overlay had a
   /// latency model attached during the replay).
+  ///
+  /// All Mean*/quantile accessors are total functions: a zero-op aggregate
+  /// (e.g. an OpType that was entirely capability-filtered) reads as 0
+  /// everywhere, never as a division by zero.
   double MeanLatency() const {
     return count == 0
                ? 0.0

@@ -1,0 +1,319 @@
+// Tests for the obs/ observability subsystem wired through the overlay
+// stack: registry bookkeeping, observer message/op accounting, the
+// span-count == executed-ops contract, per-backend trace determinism, the
+// zero-overhead detached default, and the zero-op replay aggregates
+// (capability-filtered traces must read as 0 everywhere, never divide).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+#include "obs/trace.h"
+#include "overlay/registry.h"
+#include "sim/event_queue.h"
+#include "sim/latency.h"
+#include "util/rng.h"
+#include "workload/replay.h"
+#include "workload/workload.h"
+
+namespace baton {
+namespace {
+
+using obs::LogHistogram;
+using obs::Observer;
+using obs::Registry;
+using overlay::Overlay;
+using workload::OpType;
+
+constexpr Key kDomainHi = 1000000000;
+
+struct Built {
+  std::unique_ptr<Overlay> ov;
+  std::vector<net::PeerId> members;
+};
+
+Built Grow(const std::string& name, size_t n, uint64_t seed) {
+  overlay::Config cfg;
+  cfg.seed = seed;
+  Built b;
+  b.ov = overlay::Make(name, cfg);
+  BATON_CHECK(b.ov != nullptr) << "unknown backend " << name;
+  Rng rng(Mix64(seed));
+  workload::UniformKeys keys(1, kDomainHi);
+  b.members.push_back(b.ov->Bootstrap());
+  while (b.members.size() < n) {
+    auto st = b.ov->Join(b.members[rng.NextBelow(b.members.size())]);
+    BATON_CHECK(st.ok()) << st.status.ToString();
+    b.members.push_back(st.peer);
+    for (int i = 0; i < 5; ++i) {
+      b.ov->Insert(b.members[rng.NextBelow(b.members.size())],
+                   keys.Next(&rng));
+    }
+  }
+  return b;
+}
+
+workload::Trace MixedTrace(uint64_t seed, size_t n) {
+  workload::ChurnMix mix;
+  mix.joins = n / 10;
+  mix.leaves = n / 10;
+  mix.inserts = 50;
+  mix.exacts = 50;
+  mix.ranges = 10;
+  mix.range_width = kDomainHi / 1000;
+  Rng rng(Mix64(seed ^ 0xc03a));
+  workload::UniformKeys keys(1, kDomainHi);
+  return workload::MakeChurnTrace(&rng, &keys, mix);
+}
+
+TEST(Registry, CountersGaugesHistsAndPerNode) {
+  Registry r;
+  ++r.Counter("a");
+  r.Counter("a") += 4;
+  r.Gauge("g") = -7;
+  r.Hist("h").Add(3);
+  r.Hist("h").Add(300);
+  auto& fam = r.PerNode("node.load");
+  Registry::IncNode(&fam, 2, 10);
+  Registry::IncNode(&fam, 5);
+
+  EXPECT_EQ(r.CounterValue("a"), 5u);
+  EXPECT_EQ(r.CounterValue("never-written"), 0u);
+  EXPECT_EQ(r.GaugeValue("g"), -7);
+  ASSERT_NE(r.FindHist("h"), nullptr);
+  EXPECT_EQ(r.FindHist("h")->count(), 2u);
+  EXPECT_EQ(r.FindHist("missing"), nullptr);
+  ASSERT_NE(r.FindPerNode("node.load"), nullptr);
+  EXPECT_EQ((*r.FindPerNode("node.load"))[2], 10u);
+
+  // NodeLoad turns the family into a distribution over [0, n): absent
+  // nodes count as zero-load samples.
+  LogHistogram load = r.NodeLoad("node.load", 6);
+  EXPECT_EQ(load.count(), 6u);
+  EXPECT_EQ(load.sum(), 11u);
+  EXPECT_EQ(load.max(), 10u);
+  EXPECT_EQ(load.Quantile(0.5), 0u);  // 4 of 6 nodes saw nothing
+}
+
+TEST(Registry, MergeIsAdditiveAcrossEveryKind) {
+  Registry a, b;
+  a.Counter("c") = 3;
+  b.Counter("c") = 4;
+  b.Counter("only-b") = 1;
+  a.Gauge("g") = 10;
+  b.Gauge("g") = -2;
+  a.Hist("h").Add(1);
+  b.Hist("h").Add(1u << 20);
+  Registry::IncNode(&a.PerNode("f"), 1, 5);
+  Registry::IncNode(&b.PerNode("f"), 3, 7);
+
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("c"), 7u);
+  EXPECT_EQ(a.CounterValue("only-b"), 1u);
+  EXPECT_EQ(a.GaugeValue("g"), 8);
+  EXPECT_EQ(a.FindHist("h")->count(), 2u);
+  EXPECT_EQ(a.FindHist("h")->max(), 1u << 20);
+  const auto& fam = *a.FindPerNode("f");
+  EXPECT_EQ(fam[1], 5u);
+  EXPECT_EQ(fam[3], 7u);
+}
+
+TEST(Observer, CountsEveryMessageTheNetworkCounts) {
+  Built b = Grow("baton", 64, 11);
+  Observer obs;
+  b.ov->AttachObserver(&obs);
+  auto before = b.ov->network()->Snapshot();
+  Rng rng(5);
+  for (int q = 0; q < 200; ++q) {
+    auto st = b.ov->ExactSearch(b.members[rng.NextBelow(b.members.size())],
+                                rng.UniformInt(1, kDomainHi));
+    ASSERT_TRUE(st.ok()) << st.status.ToString();
+  }
+  uint64_t net_delta =
+      net::Network::Delta(before, b.ov->network()->Snapshot());
+  const Registry& m = obs.metrics();
+  // Every message the network counted while attached hit the observer.
+  EXPECT_EQ(m.CounterValue("net.messages"), net_delta);
+  EXPECT_GT(net_delta, 0u);
+  EXPECT_EQ(m.CounterValue("op.exact.count"), 200u);
+  EXPECT_EQ(m.CounterValue("op.exact.ok"), 200u);
+  ASSERT_NE(m.FindHist("op.exact.hops"), nullptr);
+  EXPECT_EQ(m.FindHist("op.exact.hops")->count(), 200u);
+  // Per-node receive counts partition the global message counter.
+  const auto* in = m.FindPerNode("node.msgs_in");
+  ASSERT_NE(in, nullptr);
+  uint64_t in_sum = std::accumulate(in->begin(), in->end(), uint64_t{0});
+  EXPECT_EQ(in_sum, net_delta);
+}
+
+TEST(Observer, SpanCountEqualsExecutedOps) {
+  // The acceptance contract: one span per executed public operation.
+  // Skipped / capability-filtered ops never touch the overlay, so they must
+  // not produce spans; each recovered failure adds one extra "recover" span
+  // on top of its "fail" span.
+  for (const std::string& name : {std::string("baton"), std::string("chord"),
+                                  std::string("d3tree")}) {
+    Built b = Grow(name, 48, 17);
+    Observer obs(/*tracing=*/true);
+    b.ov->AttachObserver(&obs);
+    workload::Trace trace = MixedTrace(17, 48);
+    Rng rng(Mix64(uint64_t{17} ^ 0x5eed));
+    workload::ReplayResult res =
+        workload::Replay(*b.ov, trace, &rng, &b.members);
+    uint64_t executed = 0;
+    for (const auto& agg : res.per_op) executed += agg.count;
+    ASSERT_NE(obs.trace(), nullptr);
+    EXPECT_EQ(obs.trace()->span_count(), executed) << name;
+    EXPECT_GT(executed, 0u) << name;
+    // Message events inherit causally ordered ticks: deliver >= send, span
+    // end >= span begin.
+    for (const auto& e : obs.trace()->messages()) {
+      ASSERT_GE(e.deliver, e.send);
+    }
+    for (const auto& s : obs.trace()->spans()) {
+      ASSERT_GE(s.end, s.begin);
+    }
+  }
+}
+
+TEST(Observer, RecoveredFailuresAddOneSpanEach) {
+  Built b = Grow("baton", 48, 23);
+  Observer obs(/*tracing=*/true);
+  b.ov->AttachObserver(&obs);
+  workload::ChurnMix mix;
+  mix.failures = 6;
+  mix.exacts = 10;
+  Rng trng(Mix64(23 ^ 0xfa11));
+  workload::UniformKeys keys(1, kDomainHi);
+  workload::Trace trace = workload::MakeChurnTrace(&trng, &keys, mix);
+  Rng rng(Mix64(23));
+  workload::ReplayResult res = workload::Replay(*b.ov, trace, &rng, &b.members);
+  uint64_t executed = 0;
+  for (const auto& agg : res.per_op) executed += agg.count;
+  // Replay runs RecoverAllFailures after every successful Fail; the
+  // recovery is merged into the kFail aggregate but is its own span.
+  uint64_t expected = executed + res.of(OpType::kFail).ok;
+  EXPECT_EQ(obs.trace()->span_count(), expected);
+  EXPECT_EQ(obs.metrics().CounterValue("op.recover.count"),
+            res.of(OpType::kFail).ok);
+}
+
+TEST(Observer, TraceIsByteIdenticalAcrossRunsPerBackend) {
+  // Same seed => byte-identical Chrome trace JSON, for every registered
+  // backend, with the sim kernel attached (real ticks) -- the determinism
+  // guarantee that makes traces diffable artifacts.
+  for (const std::string& name : overlay::RegisteredNames()) {
+    std::string runs[2];
+    for (int run = 0; run < 2; ++run) {
+      Built b = Grow(name, 32, 7);
+      sim::EventQueue queue;
+      sim::UniformLatency link(5, 20);
+      b.ov->AttachLatency(&queue, &link, 13);
+      Observer obs(/*tracing=*/true);
+      b.ov->AttachObserver(&obs);
+      workload::Trace trace = MixedTrace(7, 32);
+      Rng rng(Mix64(uint64_t{7} ^ 0x5eed));
+      workload::Replay(*b.ov, trace, &rng, &b.members);
+      std::ostringstream out;
+      obs::WriteChromeTrace(out, {{name + " N=32 seed=0", obs.trace()}});
+      runs[run] = out.str();
+    }
+    EXPECT_EQ(runs[0], runs[1]) << name;
+    EXPECT_GT(runs[0].size(), 2u) << name;
+  }
+}
+
+TEST(Observer, DetachedRunIsIndistinguishable) {
+  // The zero-overhead default: an unobserved run and an observed run make
+  // identical protocol decisions -- same per-op message bills, same hops,
+  // same final counters. (Bench byte-identity rides on this.)
+  auto run = [](bool observed) {
+    Built b = Grow("baton", 48, 31);
+    Observer obs(/*tracing=*/true);
+    if (observed) b.ov->AttachObserver(&obs);
+    workload::Trace trace = MixedTrace(31, 48);
+    Rng rng(Mix64(uint64_t{31} ^ 0x5eed));
+    workload::ReplayResult res =
+        workload::Replay(*b.ov, trace, &rng, &b.members);
+    std::vector<uint64_t> sig;
+    for (const auto& agg : res.per_op) {
+      sig.push_back(agg.count);
+      sig.push_back(agg.messages);
+      sig.push_back(agg.hops);
+    }
+    sig.push_back(b.ov->network()->total_messages());
+    return sig;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Replay, ZeroOpAggregatesReadAsZeroEverywhere) {
+  // A Chord replay of a range-only trace executes nothing: every op is
+  // capability-filtered before touching the overlay. All derived stats must
+  // be total functions -- 0, not a division by zero or an empty-histogram
+  // walk.
+  Built b = Grow("chord", 32, 3);
+  workload::Trace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.push_back({OpType::kRange, Key{1000} * (i + 1),
+                     Key{1000} * (i + 1) + 500});
+  }
+  Rng rng(Mix64(3));
+  workload::ReplayResult res = workload::Replay(*b.ov, trace, &rng, &b.members);
+  const workload::OpAggregate& agg = res.of(OpType::kRange);
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_EQ(agg.unsupported, 40u);
+  EXPECT_DOUBLE_EQ(agg.MeanMessages(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.MeanHops(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.MeanLatency(), 0.0);
+  EXPECT_EQ(agg.hops_hist.Quantile(0.5), 0u);
+  EXPECT_EQ(agg.latency_hist.Quantile(0.99), 0u);
+  EXPECT_EQ(res.total_messages, 0u);
+  // Merging empty aggregates stays empty (the cross-seed rollup path).
+  workload::OpAggregate merged;
+  merged.Merge(agg);
+  merged.Merge(agg);
+  EXPECT_EQ(merged.count, 0u);
+  EXPECT_EQ(merged.unsupported, 80u);
+  EXPECT_DOUBLE_EQ(merged.MeanMessages(), 0.0);
+}
+
+TEST(Replay, AggregateHistogramsMatchTheTotals) {
+  Built b = Grow("baton", 48, 5);
+  workload::Trace trace = MixedTrace(5, 48);
+  Rng rng(Mix64(uint64_t{5} ^ 0x5eed));
+  workload::ReplayResult res = workload::Replay(*b.ov, trace, &rng, &b.members);
+  for (const auto& agg : res.per_op) {
+    EXPECT_EQ(agg.hops_hist.count(), agg.count);
+    EXPECT_EQ(agg.messages_hist.count(), agg.count);
+    EXPECT_EQ(agg.latency_hist.count(), agg.count);
+    EXPECT_EQ(agg.hops_hist.sum(), agg.hops);
+    EXPECT_EQ(agg.messages_hist.sum(), agg.messages);
+    EXPECT_EQ(agg.latency_hist.sum(), agg.latency);
+  }
+}
+
+TEST(Trace, ChromeJsonShape) {
+  obs::TraceRecorder rec;
+  rec.BeginSpan("exact", 10);
+  rec.AddMessage(1, 2, 0, 10, 12);
+  rec.AddMessage(2, 3, 0, 12, 15);
+  rec.EndSpan(15, true, 3, 2, 2, 5);
+  std::ostringstream out;
+  obs::WriteChromeTrace(out, {{"test N=1", &rec}});
+  std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"exact\""), std::string::npos);
+  EXPECT_EQ(rec.span_count(), 1u);
+  EXPECT_EQ(rec.message_count(), 2u);
+}
+
+}  // namespace
+}  // namespace baton

@@ -27,6 +27,10 @@
 // log-bucket histograms merged across seeds; --trace=PATH / --metrics=PATH
 // additionally record per-task causal traces and metrics snapshots.
 //
+// --key-dist=zipf:THETA skews which keys the exact searches ask for (the
+// first --key-dist entry; preloaded data stays uniform, so this isolates
+// request skew). Default uniform reproduces the original output exactly.
+//
 //   ./bench_latency_query --sizes=200 --seeds=1
 //   ./bench_latency_query --overlay=baton,d3tree --latency=uniform:5,20
 #include <string>
@@ -57,7 +61,13 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
   SeedSample out;
   const Key width = kDomainHi / 1000;  // 0.1% selectivity, as in Fig 8(e)
   uint64_t seed = opt.base_seed + static_cast<uint64_t>(s);
-  workload::UniformKeys keys(1, kDomainHi);
+  workload::UniformKeys keys(1, kDomainHi);  // preload: stored-data dist
+  // Request-key distribution: uniform unless --key-dist says otherwise
+  // (uniform draws are identical to the preload generator's, so the default
+  // output is byte-identical to the pre-flag bench).
+  KeyDistSpec qdist = opt.key_dists.empty() ? KeyDistSpec{} : opt.key_dists[0];
+  std::unique_ptr<workload::KeyGenerator> query_keys =
+      MakeKeyGenerator(qdist, 1, kDomainHi);
 
   overlay::Config cfg = BalancedOverlayConfig();
   Instance inst;
@@ -76,7 +86,8 @@ SeedSample RunSeed(const std::string& name, size_t n, int s,
   Rng rng(Mix64(seed ^ 0x1a7e));
   for (int q = 0; q < opt.queries; ++q) {
     auto st = inst.overlay->ExactSearch(
-        inst.members[rng.NextBelow(inst.members.size())], keys.Next(&rng));
+        inst.members[rng.NextBelow(inst.members.size())],
+        query_keys->Next(&rng));
     BATON_CHECK(st.ok()) << st.status.ToString();
     out.exact_hops.push_back(static_cast<double>(st.hops));
     out.exact_lat.push_back(static_cast<double>(st.latency_ticks));

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cctype>
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -121,27 +123,6 @@ void MirrorTableToJson(const std::string& title, const TablePrinter& table) {
   std::fflush(g_json.file);
 }
 
-std::vector<size_t> ParseSizes(const char* arg) {
-  std::vector<size_t> out;
-  size_t cur = 0;
-  bool any = false;
-  for (const char* p = arg;; ++p) {
-    if (*p >= '0' && *p <= '9') {
-      cur = cur * 10 + static_cast<size_t>(*p - '0');
-      any = true;
-    } else if (*p == ',' || *p == '\0') {
-      if (any) out.push_back(cur);
-      cur = 0;
-      any = false;
-      if (*p == '\0') break;
-    } else {
-      std::fprintf(stderr, "bad --sizes value: %s\n", arg);
-      std::exit(2);
-    }
-  }
-  return out;
-}
-
 std::vector<std::string> SplitNames(const char* arg) {
   std::vector<std::string> out;
   std::string cur;
@@ -186,6 +167,22 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "  --latency=MODEL       link latency: const:N or uniform:LO,HI "
       "(ticks);\n"
       "                        enables simulated per-op latency reporting\n"
+      "  --key-dist=D[,...]    request-key distribution(s): uniform or\n"
+      "                        zipf:THETA (THETA > 0, e.g. zipf:0.9); "
+      "benches\n"
+      "                        that honour it run one series per entry\n"
+      "  --load=f1,f2,...      offered-load sweep for bench_throughput, as\n"
+      "                        fractions of calibrated capacity (default\n"
+      "                        0.5,0.8,0.95,1.1,1.3)\n"
+      "  --arrivals=KIND       open-loop arrival process: poisson (default)\n"
+      "                        or fixed\n"
+      "  --service-ticks=N     per-message node service time in ticks "
+      "(>= 1;\n"
+      "                        default 1; serving-engine benches)\n"
+      "  --max-queue=N         per-node queue bound, arrivals past it drop\n"
+      "                        the op (default 0 = unbounded)\n"
+      "  --timeout-ticks=N     sojourns past N ticks count as timed out\n"
+      "                        (default 0 = no deadline)\n"
       "  --json=PATH           mirror every table into PATH as JSON rows\n"
       "  --trace=PATH          write a Chrome trace-event JSON (open in\n"
       "                        Perfetto) of every replayed op + message\n"
@@ -195,6 +192,79 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "                        (observability-aware benches only)\n"
       "  --help                print this message and exit\n",
       argv0, JoinedRegisteredNames().c_str());
+}
+
+/// Strict base-10 parse for numeric flags: the whole value must be digits
+/// (no sign, no trailing junk), must not overflow uint64, and must land in
+/// [min_value, max_value]. Anything else prints a diagnostic plus the usage
+/// and exits 2 -- atoi-style parsing silently turned "--threads=-2" into a
+/// negative and "--seeds=2x" into 2.
+uint64_t ParseFlagUint(const char* argv0, const char* flag, const char* val,
+                       uint64_t min_value, uint64_t max_value = UINT64_MAX) {
+  uint64_t v = 0;
+  bool ok = *val != '\0';
+  for (const char* p = val; ok && *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      ok = false;
+      break;
+    }
+    uint64_t d = static_cast<uint64_t>(*p - '0');
+    if (v > (UINT64_MAX - d) / 10) {
+      ok = false;  // overflow
+      break;
+    }
+    v = v * 10 + d;
+  }
+  if (!ok || v < min_value || v > max_value) {
+    std::fprintf(stderr,
+                 "bad %s value '%s' (need an integer in [%llu, %llu])\n",
+                 flag, val, static_cast<unsigned long long>(min_value),
+                 static_cast<unsigned long long>(max_value));
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Strict double parse: the whole value must be a finite number > 0.
+double ParseFlagPositiveDouble(const char* argv0, const char* flag,
+                               const char* val) {
+  char* end = nullptr;
+  double v = std::strtod(val, &end);
+  if (end == val || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+    std::fprintf(stderr, "bad %s value '%s' (need a finite number > 0)\n",
+                 flag, val);
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<size_t> ParseSizes(const char* argv0, const char* arg) {
+  std::vector<size_t> out;
+  for (const std::string& piece : SplitNames(arg)) {
+    out.push_back(static_cast<size_t>(
+        ParseFlagUint(argv0, "--sizes", piece.c_str(), 1)));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--sizes needs at least one network size\n");
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return out;
+}
+
+std::vector<double> ParseLoads(const char* argv0, const char* arg) {
+  std::vector<double> out;
+  for (const std::string& piece : SplitNames(arg)) {
+    out.push_back(ParseFlagPositiveDouble(argv0, "--load", piece.c_str()));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--load needs at least one load fraction\n");
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return out;
 }
 
 }  // namespace
@@ -245,6 +315,55 @@ std::unique_ptr<sim::LatencyModel> MakeLatencyModel(const LatencySpec& spec) {
       return std::make_unique<sim::ConstantLatency>(spec.lo);
     case LatencySpec::Kind::kUniform:
       return std::make_unique<sim::UniformLatency>(spec.lo, spec.hi);
+  }
+  return nullptr;
+}
+
+std::string KeyDistSpec::Label() const {
+  if (kind == Kind::kUniform) return "uniform";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "zipf:%g", theta);
+  return buf;
+}
+
+std::vector<KeyDistSpec> ParseKeyDists(const char* arg) {
+  auto bad = [&]() {
+    std::fprintf(stderr,
+                 "bad --key-dist value '%s' (want a comma list of uniform "
+                 "or zipf:THETA with THETA > 0)\n",
+                 arg);
+    std::exit(2);
+  };
+  std::vector<KeyDistSpec> out;
+  for (const std::string& name : SplitNames(arg)) {
+    KeyDistSpec spec;
+    if (name == "uniform") {
+      // defaults
+    } else if (name.rfind("zipf:", 0) == 0) {
+      spec.kind = KeyDistSpec::Kind::kZipf;
+      const char* t = name.c_str() + 5;
+      char* end = nullptr;
+      spec.theta = std::strtod(t, &end);
+      if (end == t || *end != '\0' || !std::isfinite(spec.theta) ||
+          spec.theta <= 0.0) {
+        bad();
+      }
+    } else {
+      bad();
+    }
+    out.push_back(spec);
+  }
+  if (out.empty()) bad();
+  return out;
+}
+
+std::unique_ptr<workload::KeyGenerator> MakeKeyGenerator(
+    const KeyDistSpec& spec, Key lo, Key hi) {
+  switch (spec.kind) {
+    case KeyDistSpec::Kind::kUniform:
+      return std::make_unique<workload::UniformKeys>(lo, hi);
+    case KeyDistSpec::Kind::kZipf:
+      return std::make_unique<workload::ZipfKeys>(lo, hi, spec.theta);
   }
   return nullptr;
 }
@@ -331,23 +450,43 @@ Options ParseOptions(int argc, char** argv) {
       }
       std::exit(0);
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
-      opt.threads = std::atoi(a + 10);
-      if (opt.threads < 0) {
-        std::fprintf(stderr, "--threads needs a count >= 0\n");
-        std::exit(2);
-      }
+      opt.threads = static_cast<int>(
+          ParseFlagUint(argv[0], "--threads", a + 10, 0, INT_MAX));
     } else if (std::strncmp(a, "--seeds=", 8) == 0) {
-      opt.seeds = std::atoi(a + 8);
+      opt.seeds = static_cast<int>(
+          ParseFlagUint(argv[0], "--seeds", a + 8, 1, INT_MAX));
     } else if (std::strncmp(a, "--keys=", 7) == 0) {
-      opt.keys_per_node = static_cast<size_t>(std::atoll(a + 7));
+      opt.keys_per_node =
+          static_cast<size_t>(ParseFlagUint(argv[0], "--keys", a + 7, 0));
     } else if (std::strncmp(a, "--queries=", 10) == 0) {
-      opt.queries = std::atoi(a + 10);
+      opt.queries = static_cast<int>(
+          ParseFlagUint(argv[0], "--queries", a + 10, 0, INT_MAX));
     } else if (std::strncmp(a, "--sizes=", 8) == 0) {
-      opt.sizes = ParseSizes(a + 8);
+      opt.sizes = ParseSizes(argv[0], a + 8);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
-      opt.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
+      opt.base_seed = ParseFlagUint(argv[0], "--seed", a + 7, 0);
     } else if (std::strncmp(a, "--latency=", 10) == 0) {
       opt.latency = ParseLatencySpec(a + 10);
+    } else if (std::strncmp(a, "--key-dist=", 11) == 0) {
+      opt.key_dists = ParseKeyDists(a + 11);
+    } else if (std::strncmp(a, "--load=", 7) == 0) {
+      opt.loads = ParseLoads(argv[0], a + 7);
+    } else if (std::strncmp(a, "--arrivals=", 11) == 0) {
+      opt.arrivals = a + 11;
+      if (opt.arrivals != "poisson" && opt.arrivals != "fixed") {
+        std::fprintf(stderr,
+                     "bad --arrivals value '%s' (want poisson or fixed)\n",
+                     opt.arrivals.c_str());
+        std::exit(2);
+      }
+    } else if (std::strncmp(a, "--service-ticks=", 16) == 0) {
+      opt.service_ticks =
+          ParseFlagUint(argv[0], "--service-ticks", a + 16, 1);
+    } else if (std::strncmp(a, "--max-queue=", 12) == 0) {
+      opt.max_queue = ParseFlagUint(argv[0], "--max-queue", a + 12, 0);
+    } else if (std::strncmp(a, "--timeout-ticks=", 16) == 0) {
+      opt.timeout_ticks =
+          ParseFlagUint(argv[0], "--timeout-ticks", a + 16, 0);
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       opt.trace_path = a + 8;
       if (opt.trace_path.empty()) {

@@ -47,6 +47,27 @@ LatencySpec ParseLatencySpec(const char* arg);
 /// Builds the latency model `spec` describes, or nullptr for Kind::kNone.
 std::unique_ptr<sim::LatencyModel> MakeLatencyModel(const LatencySpec& spec);
 
+/// Request-key distribution selected with --key-dist=uniform|zipf:THETA.
+/// Uniform is the paper's setup; zipf:THETA concentrates queries on the
+/// popular low end of the key space (util::ZipfGenerator), the access skew
+/// that turns a range-partitioned overlay's key owners into hot spots.
+struct KeyDistSpec {
+  enum class Kind { kUniform, kZipf };
+  Kind kind = Kind::kUniform;
+  double theta = 0.0;  // Zipf exponent; unused for kUniform
+
+  /// Table/column label: "uniform" or "zipf:<theta>".
+  std::string Label() const;
+};
+
+/// Parses a comma list of "uniform" / "zipf:THETA" (THETA > 0) entries;
+/// prints a diagnostic and exits 2 on malformed input.
+std::vector<KeyDistSpec> ParseKeyDists(const char* arg);
+
+/// Builds the request-key generator `spec` describes over [lo, hi).
+std::unique_ptr<workload::KeyGenerator> MakeKeyGenerator(
+    const KeyDistSpec& spec, Key lo, Key hi);
+
 struct Options {
   std::vector<size_t> sizes = {1000, 2000, 4000, 8000};
   size_t keys_per_node = 100;
@@ -78,6 +99,26 @@ struct Options {
   /// (an array of {overlay, N, seed, metrics} objects). Empty = off.
   std::string metrics_path;
 
+  /// Request-key distributions from --key-dist=...; empty means the bench's
+  /// default (uniform). Benches that honour this run one series per entry.
+  std::vector<KeyDistSpec> key_dists;
+
+  // ---- Serving-engine flags (bench_throughput) ---------------------------
+  /// --load=f1,f2,...: offered-load sweep points, as fractions of each
+  /// (backend, N, seed)'s calibrated closed-loop capacity. The default
+  /// straddles the saturation knee from either side.
+  std::vector<double> loads = {0.5, 0.8, 0.95, 1.1, 1.3};
+  /// --arrivals=poisson|fixed: the open-loop arrival process.
+  std::string arrivals = "poisson";
+  /// --service-ticks=N: per-message node service time (serve::NodeModel).
+  uint64_t service_ticks = 1;
+  /// --max-queue=N: per-node queue bound; arrivals past it drop the owning
+  /// op (0 = unbounded queues).
+  uint64_t max_queue = 0;
+  /// --timeout-ticks=N: sojourns past this count as timed out (client gave
+  /// up; the op still completes and is measured). 0 = no deadline.
+  uint64_t timeout_ticks = 0;
+
   /// Observability is wanted when either artifact path is set.
   bool obs_enabled() const {
     return !trace_path.empty() || !metrics_path.empty();
@@ -93,11 +134,17 @@ inline constexpr int kBenchJsonSchema = 2;
 
 /// Recognised flags: --paper_scale, --csv, --seeds=N, --keys=N, --queries=N,
 /// --sizes=a,b,c, --seed=S, --overlay=name[,name...], --threads=N,
-/// --latency=const:N|uniform:LO,HI, --json=PATH, --trace=PATH,
-/// --metrics=PATH, --list-overlays (prints overlay::RegisteredNames() one
-/// per line, exits 0), --help (prints usage, exits 0). Unknown flags print the usage and exit 2; usage and the
-/// --overlay rejection message both list the registered backends from the
-/// registry, so new backends appear without touching this file.
+/// --latency=const:N|uniform:LO,HI, --key-dist=uniform|zipf:THETA[,...],
+/// --load=f1,f2,..., --arrivals=poisson|fixed, --service-ticks=N,
+/// --max-queue=N, --json=PATH, --trace=PATH, --metrics=PATH,
+/// --list-overlays (prints overlay::RegisteredNames() one per line, exits
+/// 0), --help (prints usage, exits 0). Unknown flags print the usage and
+/// exit 2; usage and the --overlay rejection message both list the
+/// registered backends from the registry, so new backends appear without
+/// touching this file. Numeric flags are parsed strictly: a value that is
+/// not entirely a base-10 number in the flag's valid range (e.g.
+/// --threads=-2, --seeds=2x) prints a diagnostic plus the usage and exits 2
+/// instead of silently truncating or wrapping.
 Options ParseOptions(int argc, char** argv);
 
 /// Runs fn(i) for every i in [0, count) on up to `threads` worker threads

@@ -121,6 +121,11 @@ class Network {
   void AttachSim(sim::EventQueue* queue, sim::LatencyModel* latency,
                  uint64_t seed);
   bool sim_attached() const { return sim_queue_ != nullptr; }
+  /// The attached kernel's queue (nullptr when detached). Exposed so higher
+  /// layers that run their own event loops (the serving engine) can refuse
+  /// to share a queue with the per-op critical-path machinery, whose
+  /// EndOpWindow drains the queue mid-operation.
+  sim::EventQueue* sim_queue() const { return sim_queue_; }
 
   /// Opens a measurement window: the per-peer frontier resets (every peer
   /// is immediately available) and critical-path accounting restarts. O(1).

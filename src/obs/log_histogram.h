@@ -47,7 +47,24 @@ class LogHistogram {
   /// the estimate lies in the same bucket as the true order statistic.
   /// Returns 0 when the histogram is empty (zero-op aggregates must never
   /// divide or walk an empty distribution).
+  ///
+  /// Rank rule (shared with QuantileInterp): the estimated order statistic
+  /// is the 1-based rank ceil(q * count), clamped to [1, count] -- i.e. the
+  /// smallest sample with at least a q-fraction of the mass at or below it.
+  /// Ranks 1 and count answer from the exactly-tracked min/max. Quantile()
+  /// represents the winning bucket by its midpoint (lo + lo/2), clamped to
+  /// [min, max].
   uint64_t Quantile(double q) const;
+
+  /// Quantile with rank interpolation inside the winning power-of-two
+  /// bucket: the estimate places the target rank linearly within the
+  /// bucket's [lo, 2*lo) value range by its offset among the bucket's own
+  /// samples, instead of answering the fixed midpoint. Far-tail quantiles
+  /// (p99.9 and beyond) usually land in one wide bucket together with p99;
+  /// interpolation is what keeps them distinguishable and monotone in q.
+  /// Exact below kExactLimit; clamped to [min, max]; 0 when empty. Same
+  /// rank rule as Quantile().
+  uint64_t QuantileInterp(double q) const;
 
   /// Samples recorded in bucket i (test/introspection access).
   uint64_t bucket_count(int i) const { return buckets_[static_cast<size_t>(i)]; }

@@ -1,0 +1,42 @@
+#include "serve/arrivals.h"
+
+#include <cmath>
+
+namespace baton {
+namespace serve {
+
+PoissonArrivals::PoissonArrivals(double rate_per_tick, uint64_t seed)
+    : mean_gap_(1.0 / rate_per_tick), rng_(seed) {
+  BATON_CHECK_GT(rate_per_tick, 0.0);
+}
+
+sim::Time PoissonArrivals::Next() {
+  sim::Time t = static_cast<sim::Time>(next_);
+  // Exponential interarrival via inversion; 1 - U keeps the argument of log
+  // strictly positive (NextDouble() is in [0, 1)).
+  next_ += -std::log(1.0 - rng_.NextDouble()) * mean_gap_;
+  return t;
+}
+
+TraceArrivals::TraceArrivals(std::vector<sim::Time> times)
+    : times_(std::move(times)) {
+  for (size_t i = 1; i < times_.size(); ++i) {
+    BATON_CHECK_GE(times_[i], times_[i - 1])
+        << "arrival schedule must be non-decreasing";
+  }
+  if (times_.size() >= 2) {
+    tail_gap_ = times_.back() - times_[times_.size() - 2];
+  }
+}
+
+sim::Time TraceArrivals::Next() {
+  if (idx_ < times_.size()) {
+    last_ = times_[idx_++];
+  } else {
+    last_ += tail_gap_;
+  }
+  return last_;
+}
+
+}  // namespace serve
+}  // namespace baton

@@ -1,0 +1,248 @@
+#include "serve/engine.h"
+
+#include <functional>
+#include <utility>
+
+#include "net/trail.h"
+#include "util/check.h"
+
+namespace baton {
+namespace serve {
+
+using workload::AppliedOp;
+using workload::Op;
+using workload::OpType;
+
+/// One admitted operation's serving state: its arrival tick and the
+/// receiver sequence its captured message trail prescribes. `next_hop`
+/// walks the chain as service completions release successive hops.
+struct Engine::InFlight {
+  sim::Time arrival = 0;
+  std::vector<net::PeerId> path;
+  size_t next_hop = 0;
+};
+
+/// Whole-run state shared by the event continuations. Lives on
+/// RunInternal's stack; no event outlives the run (RunUntilIdle drains the
+/// queue before RunState is destroyed), and every run owns its own state --
+/// concurrent engines on a bench worker pool never share anything.
+struct Engine::RunState {
+  sim::EventQueue queue;
+  NodeModel nodes{1};
+  EngineResult res;
+  std::vector<InFlight> ops;
+  const workload::Trace* trace = nullptr;
+  const EngineConfig* cfg = nullptr;
+  net::MessageTrail* trail = nullptr;
+  Rng* op_rng = nullptr;
+  bool closed_loop = false;
+  size_t next_admission = 0;  // closed loop: next trace index to admit
+  /// Called when op `idx`'s chain finishes (completed) or is shed (dropped);
+  /// in closed-loop mode it also resumes admission.
+  std::function<void(size_t idx, bool completed)> on_done;
+
+  /// Schedules hop `ops[idx].next_hop` for delivery one hop latency after
+  /// `departs`.
+  void Send(size_t idx, sim::Time departs);
+  /// Hop arrival at its receiver: join the node's FIFO (or be shed at the
+  /// queue bound), and on service completion release the next hop -- or
+  /// finish the op.
+  void Deliver(size_t idx);
+};
+
+void Engine::RunState::Send(size_t idx, sim::Time departs) {
+  queue.ScheduleAt(departs + cfg->hop_latency,
+                   [this, idx] { Deliver(idx); });
+}
+
+void Engine::RunState::Deliver(size_t idx) {
+  InFlight& op = ops[idx];
+  net::PeerId node = op.path[op.next_hop];
+  NodeModel::Admission adm = nodes.Admit(node, queue.now(), cfg->max_queue);
+  if (!adm.accepted) {
+    ++res.dropped;
+    op.path.clear();  // abandon the remaining chain
+    on_done(idx, /*completed=*/false);
+    return;
+  }
+  res.queue_wait.Add(adm.start - queue.now());
+  res.queue_depth.Add(adm.ahead);
+  queue.ScheduleAt(adm.done, [this, idx] {
+    InFlight& o = ops[idx];
+    ++o.next_hop;
+    if (o.next_hop < o.path.size()) {
+      Send(idx, queue.now());
+      return;
+    }
+    o.path.clear();
+    on_done(idx, /*completed=*/true);
+  });
+}
+
+Engine::Engine(overlay::Overlay* ov, std::vector<net::PeerId>* members,
+               const EngineConfig& cfg, obs::Registry* registry)
+    : ov_(ov), members_(members), cfg_(cfg), registry_(registry) {
+  BATON_CHECK(ov != nullptr);
+  BATON_CHECK(members != nullptr);
+}
+
+EngineResult Engine::Run(const workload::Trace& trace, Arrivals* arrivals,
+                         Rng* op_rng) {
+  BATON_CHECK(arrivals != nullptr);
+  return RunInternal(trace, arrivals, op_rng, /*closed_loop=*/false);
+}
+
+EngineResult Engine::RunClosedLoop(const workload::Trace& trace,
+                                   Rng* op_rng) {
+  return RunInternal(trace, /*arrivals=*/nullptr, op_rng,
+                     /*closed_loop=*/true);
+}
+
+EngineResult Engine::RunInternal(const workload::Trace& trace,
+                                 Arrivals* arrivals, Rng* op_rng,
+                                 bool closed_loop) {
+  BATON_CHECK(!members_->empty())
+      << "Engine needs a bootstrapped overlay with at least one member";
+  RunState st;
+  st.trace = &trace;
+  st.cfg = &cfg_;
+  st.op_rng = op_rng;
+  st.closed_loop = closed_loop;
+  st.nodes = NodeModel(cfg_.service_ticks);
+  st.ops.resize(trace.size());
+
+  // Capture every message the overlay sends during an admission, chaining
+  // to whatever observer (obs::Observer, usually) was already attached so
+  // instrumentation keeps working underneath the engine. The engine's own
+  // queue is private by construction, so a sim/ kernel attached to the
+  // network (AttachLatency) keeps timing individual ops on its separate
+  // queue without ever draining engine events mid-operation.
+  net::Network* net = ov_->network();
+  net::MessageTrail trail(net->observer());
+  st.trail = &trail;
+  net->AttachObserver(&trail);
+
+  // Admits trace op `i` at the current queue time: the overlay executes it
+  // synchronously (Replay semantics via ApplyOp), then the captured trail
+  // becomes the op's hop chain. Returns true when a chain is now in flight.
+  auto admit = [this, &st](size_t i) -> bool {
+    const Op& op = (*st.trace)[i];
+    workload::OpAggregate* agg =
+        &st.res.replay.per_op[static_cast<size_t>(op.type)];
+    st.trail->Clear();
+    AppliedOp applied =
+        workload::ApplyOp(*ov_, op, st.op_rng, members_, cfg_.replay);
+    switch (applied.disposition) {
+      case AppliedOp::Disposition::kSkipped:
+        ++agg->skipped;
+        return false;
+      case AppliedOp::Disposition::kUnsupported:
+        ++agg->unsupported;
+        return false;
+      case AppliedOp::Disposition::kExecuted:
+        break;
+    }
+    agg->Accumulate(applied.stats);
+    st.res.replay.total_messages += applied.stats.messages;
+    st.res.replay.total_latency += applied.stats.latency_ticks;
+    if (cfg_.replay.record_answers) {
+      if (op.type == OpType::kExact) {
+        st.res.replay.exact_found.push_back(applied.stats.found);
+      } else if (op.type == OpType::kRange) {
+        st.res.replay.range_matches.push_back(applied.stats.matches);
+      }
+    }
+    ++st.res.admitted;
+
+    InFlight& fl = st.ops[i];
+    fl.arrival = st.queue.now();
+    fl.path.reserve(st.trail->hops().size());
+    for (const net::MessageTrail::Hop& h : st.trail->hops()) {
+      fl.path.push_back(h.to);
+    }
+    if (fl.path.empty()) {
+      // Origin answered locally: no messages, no service demand.
+      ++st.res.local_ops;
+      ++st.res.completed;
+      st.res.sojourn.Add(0);
+      st.res.completions.push_back(st.queue.now());
+      return false;
+    }
+    st.Send(i, st.queue.now());
+    return true;
+  };
+
+  // Closed loop: walk the trace from `from`, admitting until one op puts a
+  // chain in flight (its completion resumes the walk) or the trace ends.
+  auto admit_closed_from = [&st, &admit](size_t from) {
+    for (size_t i = from; i < st.trace->size(); ++i) {
+      if (admit(i)) {
+        st.next_admission = i + 1;
+        return;
+      }
+    }
+    st.next_admission = st.trace->size();
+  };
+
+  st.on_done = [this, &st, &admit_closed_from](size_t idx, bool completed) {
+    if (completed) {
+      sim::Time sojourn = st.queue.now() - st.ops[idx].arrival;
+      ++st.res.completed;
+      st.res.sojourn.Add(sojourn);
+      st.res.completions.push_back(st.queue.now());
+      if (cfg_.timeout_ticks > 0 && sojourn > cfg_.timeout_ticks) {
+        ++st.res.timed_out;
+      }
+    }
+    if (st.closed_loop) admit_closed_from(st.next_admission);
+  };
+
+  if (closed_loop) {
+    admit_closed_from(0);
+  } else {
+    sim::Time prev = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      sim::Time t = arrivals->Next();
+      BATON_CHECK_GE(t, prev) << "arrival times must be non-decreasing";
+      prev = t;
+      st.queue.ScheduleAt(t, [&admit, i] { admit(i); });
+    }
+  }
+  st.queue.RunUntilIdle();
+
+  st.res.makespan = st.queue.now();
+  st.res.max_node_served = st.nodes.max_served();
+  st.res.peak_queue_depth = st.nodes.max_peak_depth();
+  st.res.total_service_ticks = st.nodes.total_busy_ticks();
+
+  // Restore the observer chain the engine spliced itself into.
+  net->AttachObserver(trail.chained());
+
+  if (registry_ != nullptr) {
+    obs::Registry& reg = *registry_;
+    reg.Counter("serve.ops_admitted") += st.res.admitted;
+    reg.Counter("serve.ops_completed") += st.res.completed;
+    reg.Counter("serve.ops_dropped") += st.res.dropped;
+    reg.Counter("serve.ops_timed_out") += st.res.timed_out;
+    reg.Counter("serve.msgs_serviced") += st.nodes.total_served();
+    reg.Counter("serve.service_ticks") += st.res.total_service_ticks;
+    reg.Gauge("serve.makespan_ticks") = static_cast<int64_t>(st.res.makespan);
+    reg.Hist("serve.sojourn_ticks").Merge(st.res.sojourn);
+    reg.Hist("serve.queue_wait_ticks").Merge(st.res.queue_wait);
+    reg.Hist("serve.queue_depth").Merge(st.res.queue_depth);
+    std::vector<uint64_t>* served = &reg.PerNode("serve.node.served");
+    std::vector<uint64_t>* peak = &reg.PerNode("serve.node.queue_peak");
+    for (uint32_t n = 0; n < st.nodes.num_nodes(); ++n) {
+      if (st.nodes.served(n) > 0) {
+        obs::Registry::IncNode(served, n, st.nodes.served(n));
+      }
+      if (st.nodes.peak_depth(n) > 0) {
+        obs::Registry::IncNode(peak, n, st.nodes.peak_depth(n));
+      }
+    }
+  }
+  return st.res;
+}
+
+}  // namespace serve
+}  // namespace baton

@@ -1,0 +1,165 @@
+// serve::Engine: batched, pipelined query execution over any overlay
+// backend -- the subsystem that turns the simulator from a cost model into
+// a serving model.
+//
+// workload::Replay runs each operation to completion alone: it measures
+// what one isolated request costs, which is exactly the paper's Fig 8
+// methodology and exactly NOT what serving millions of concurrent users
+// looks like. The engine instead accepts a whole trace of operations with
+// an arrival time each (serve::Arrivals, open loop) and interleaves their
+// hop-by-hop progress through one sim::EventQueue:
+//
+//  1. At its arrival event, an op is admitted: the overlay executes it
+//     through the same workload::ApplyOp the sequential Replay uses (same
+//     rng draw discipline, same member bookkeeping, same OpStats), while a
+//     net::MessageTrail captures the operation's message sequence at the
+//     measured-wrapper boundary.
+//  2. The trail then becomes the op's continuation schedule: hop k is
+//     delivered to its receiver one hop_latency after hop k-1 finished
+//     service, waits in that node's FIFO queue (serve::NodeModel) behind
+//     every other in-flight op's messages, is serviced for service_ticks,
+//     and only then releases hop k+1. Ops race each other at hot nodes:
+//     queueing delay -- not hop count -- is what separates backends under
+//     skewed load.
+//  3. When an op's last hop completes service, its sojourn time
+//     (completion - arrival) lands in a log-bucketed histogram; drops
+//     (queue bound exceeded) and timeouts (sojourn past a deadline) are
+//     counted as first-class overload outcomes.
+//
+// Hops are serviced in trail (causal send) order, one service chain per op:
+// fan-out bursts serialize at their receivers rather than racing in
+// parallel. That is deliberate -- every message occupies its receiver for
+// service_ticks of CPU no matter how parallel the wire is, and it is the
+// receiver occupancy that saturates first. The sim/ critical-path
+// attachment (OpStats::latency_ticks) remains the fan-out-aware wire-time
+// model; the two compose because they run on separate queues (the engine
+// refuses to share its queue with the network's AttachSim).
+//
+// Closed-loop mode (RunClosedLoop) admits op i+1 only when op i has fully
+// drained -- today's one-at-a-time semantics on the serving timeline. Its
+// per-op aggregates match workload::Replay exactly BY CONSTRUCTION (shared
+// ApplyOp, same rng stream), which is the differential-testing anchor: the
+// engine provably adds a queueing model without changing what the overlay
+// does.
+//
+// Determinism: one op rng stream (caller-provided, Replay-compatible),
+// arrival processes own their rng, the event queue breaks time ties by
+// insertion order. Identical inputs give identical timelines, drops and
+// histograms on every run and thread count.
+#ifndef BATON_SERVE_ENGINE_H_
+#define BATON_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/log_histogram.h"
+#include "obs/metrics.h"
+#include "overlay/overlay.h"
+#include "serve/arrivals.h"
+#include "serve/node_model.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "workload/replay.h"
+
+namespace baton {
+namespace serve {
+
+struct EngineConfig {
+  /// Ticks a node spends servicing each message (see serve::NodeModel).
+  uint64_t service_ticks = 1;
+  /// In-flight ticks per hop (link latency between service completions).
+  sim::Time hop_latency = 1;
+  /// Max unserviced messages at a node before arrivals are refused and the
+  /// owning op is dropped; 0 = unbounded queues.
+  uint64_t max_queue = 0;
+  /// Ops whose sojourn exceeds this count as timed out (they still complete
+  /// and are measured -- the timeout models a client giving up, not the
+  /// system aborting work). 0 = no deadline.
+  sim::Time timeout_ticks = 0;
+  /// Replay semantics shared with workload::Replay (min_members guard,
+  /// failure recovery, answer recording).
+  workload::ReplayOptions replay;
+};
+
+struct EngineResult {
+  /// Per-op aggregates with workload::Replay's exact semantics (counts,
+  /// message bills, hop totals, histograms). In closed-loop mode this is
+  /// bit-identical to what Replay would have produced on the same inputs.
+  workload::ReplayResult replay;
+
+  // ---- Serving outcomes ----------------------------------------------------
+  uint64_t admitted = 0;   // ops the overlay executed
+  uint64_t completed = 0;  // ops whose full hop chain drained
+  uint64_t dropped = 0;    // ops shed at an over-bound node queue
+  uint64_t timed_out = 0;  // completed ops whose sojourn exceeded the deadline
+  uint64_t local_ops = 0;  // zero-message ops (completed at admission)
+
+  /// Virtual time at which the last hop drained -- the run's horizon; the
+  /// denominator of achieved throughput.
+  sim::Time makespan = 0;
+
+  /// Per-completed-op sojourn time (completion - arrival), the serving
+  /// latency distribution behind the p50/p99/p99.9 columns.
+  obs::LogHistogram sojourn;
+  /// Completion tick of every completed op, in completion (= time) order.
+  /// completed/makespan under-reports steady-state throughput on short runs
+  /// (the makespan includes the final ops' drain tail); a rate taken over
+  /// an inner completion window -- e.g. the middle 80% -- converges much
+  /// faster, and this vector is what benches compute it from.
+  std::vector<sim::Time> completions;
+  /// Per-message waiting time in node queues (service start - arrival).
+  obs::LogHistogram queue_wait;
+  /// Per-message backlog found at admission (unserviced messages ahead).
+  obs::LogHistogram queue_depth;
+
+  // ---- Bottleneck view (from the NodeModel) --------------------------------
+  uint64_t max_node_served = 0;   // busiest node's serviced-message count
+  uint64_t peak_queue_depth = 0;  // deepest backlog any node ever reached
+  uint64_t total_service_ticks = 0;
+
+  /// Completed ops per 1000 virtual ticks (0 for an empty run).
+  double ThroughputPerKilotick() const {
+    return makespan == 0 ? 0.0
+                         : 1000.0 * static_cast<double>(completed) /
+                               static_cast<double>(makespan);
+  }
+};
+
+class Engine {
+ public:
+  /// `ov` and `members` follow workload::Replay's contract (bootstrapped
+  /// overlay, non-empty member list, joiners appended / leavers erased).
+  /// With `registry` non-null the run additionally publishes serve.*
+  /// counters/histograms and per-node serve.node.* families into it (the
+  /// obs naming scheme; see obs/metrics.h). All pointers are non-owning.
+  Engine(overlay::Overlay* ov, std::vector<net::PeerId>* members,
+         const EngineConfig& cfg, obs::Registry* registry = nullptr);
+
+  /// Open-loop run: op i is admitted at `arrivals`' i-th arrival time,
+  /// whether or not earlier ops have drained. `op_rng` is the Replay-
+  /// compatible operation stream (origins/contacts/victims).
+  EngineResult Run(const workload::Trace& trace, Arrivals* arrivals,
+                   Rng* op_rng);
+
+  /// Closed-loop run: op i+1 is admitted when op i's hop chain has fully
+  /// drained -- the differential-testing mode whose replay aggregates match
+  /// workload::Replay exactly.
+  EngineResult RunClosedLoop(const workload::Trace& trace, Rng* op_rng);
+
+ private:
+  struct InFlight;
+  struct RunState;
+
+  EngineResult RunInternal(const workload::Trace& trace, Arrivals* arrivals,
+                           Rng* op_rng, bool closed_loop);
+
+  overlay::Overlay* ov_;
+  std::vector<net::PeerId>* members_;
+  EngineConfig cfg_;
+  obs::Registry* registry_;
+};
+
+}  // namespace serve
+}  // namespace baton
+
+#endif  // BATON_SERVE_ENGINE_H_

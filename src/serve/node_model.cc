@@ -1,0 +1,35 @@
+#include "serve/node_model.h"
+
+namespace baton {
+namespace serve {
+
+NodeModel::Admission NodeModel::Admit(uint32_t node, sim::Time t,
+                                      uint64_t max_queue) {
+  if (node >= nodes_.size()) nodes_.resize(node + 1);
+  Node& n = nodes_[node];
+
+  Admission adm;
+  adm.start = n.next_free > t ? n.next_free : t;
+  if (service_ticks_ > 0 && n.next_free > t) {
+    // Fixed service times make the backlog exact: everything between now and
+    // next_free is earlier messages' remaining service, in whole-or-partial
+    // units of service_ticks.
+    adm.ahead = (n.next_free - t + service_ticks_ - 1) / service_ticks_;
+  }
+  if (max_queue > 0 && adm.ahead >= max_queue) {
+    adm.accepted = false;
+    return adm;
+  }
+  adm.done = adm.start + service_ticks_;
+  n.next_free = adm.done;
+  ++n.served;
+  if (adm.ahead > n.peak_depth) n.peak_depth = adm.ahead;
+  if (n.served > max_served_) max_served_ = n.served;
+  if (n.peak_depth > max_peak_depth_) max_peak_depth_ = n.peak_depth;
+  total_busy_ += service_ticks_;
+  ++total_served_;
+  return adm;
+}
+
+}  // namespace serve
+}  // namespace baton

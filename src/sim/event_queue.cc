@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -9,7 +10,8 @@ namespace sim {
 
 void EventQueue::ScheduleAt(Time at, std::function<void()> fn) {
   BATON_CHECK_GE(at, now_) << "cannot schedule into the past";
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  queue_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void EventQueue::ScheduleAfter(Time delay, std::function<void()> fn) {
@@ -18,10 +20,13 @@ void EventQueue::ScheduleAfter(Time delay, std::function<void()> fn) {
 
 bool EventQueue::Step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-prone,
-  // so copy the function object (events are small).
-  Event ev = queue_.top();
-  queue_.pop();
+  // pop_heap moves the min-(at, seq) event into the back slot, from which
+  // the handler can be MOVED out -- no std::function copy per event. The
+  // event must leave the vector before it runs: handlers routinely schedule
+  // more events, reallocating the heap under us.
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.at;
   ++processed_;
   ev.fn();
@@ -36,7 +41,7 @@ uint64_t EventQueue::RunUntilIdle(uint64_t max_events) {
 
 uint64_t EventQueue::RunUntil(Time t_end) {
   uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= t_end && Step()) ++n;
+  while (!queue_.empty() && queue_.front().at <= t_end && Step()) ++n;
   // The clock must land on the deadline itself, not on the last processed
   // event: a subsequent ScheduleAfter(d) fires at t_end + d. Never move
   // backwards (t_end may already be in the past).

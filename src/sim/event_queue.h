@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace baton {
@@ -41,6 +40,8 @@ class EventQueue {
     uint64_t seq;
     std::function<void()> fn;
   };
+  /// Max-heap comparator inverted into a min-heap on (at, seq): earlier time
+  /// first, insertion order breaking ties -- the determinism contract.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -48,7 +49,13 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// A raw heap (push_heap/pop_heap over a vector) instead of
+  /// std::priority_queue: pop_heap leaves the extracted event in the back
+  /// slot as a mutable element, so Step() can MOVE the std::function out
+  /// instead of copying it. With tens of thousands of in-flight serving
+  /// continuations (each capturing state), the per-event copy was the
+  /// kernel's dominant cost.
+  std::vector<Event> queue_;
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;

@@ -5,27 +5,20 @@
 namespace baton {
 namespace workload {
 
-namespace {
-
-void Accumulate(OpAggregate* agg, const overlay::OpStats& st,
-                ReplayResult* res) {
-  ++agg->count;
-  if (st.ok()) ++agg->ok;
-  if (st.found) ++agg->found;
-  agg->messages += st.messages;
+void OpAggregate::Accumulate(const overlay::OpStats& st) {
+  ++count;
+  if (st.ok()) ++ok;
+  if (st.found) ++found;
+  messages += st.messages;
   // hops is signed and some backends report a negative sentinel on failed
   // ops; a raw cast would wrap to ~2^64 and corrupt the aggregate.
-  uint64_t hops = st.hops > 0 ? static_cast<uint64_t>(st.hops) : 0;
-  agg->hops += hops;
-  agg->latency += st.latency_ticks;
-  agg->hops_hist.Add(hops);
-  agg->messages_hist.Add(st.messages);
-  agg->latency_hist.Add(st.latency_ticks);
-  res->total_messages += st.messages;
-  res->total_latency += st.latency_ticks;
+  uint64_t h = st.hops > 0 ? static_cast<uint64_t>(st.hops) : 0;
+  hops += h;
+  latency += st.latency_ticks;
+  hops_hist.Add(h);
+  messages_hist.Add(st.messages);
+  latency_hist.Add(st.latency_ticks);
 }
-
-}  // namespace
 
 void OpAggregate::Merge(const OpAggregate& other) {
   count += other.count;
@@ -41,6 +34,75 @@ void OpAggregate::Merge(const OpAggregate& other) {
   latency_hist.Merge(other.latency_hist);
 }
 
+AppliedOp ApplyOp(overlay::Overlay& ov, const Op& op, Rng* rng,
+                  std::vector<net::PeerId>* members,
+                  const ReplayOptions& opts) {
+  AppliedOp out;
+  // The one rng draw this op gets, taken before any capability or guard
+  // check so every backend consumes an identical random stream.
+  size_t idx = rng->NextBelow(members->size());
+  net::PeerId peer = (*members)[idx];
+  switch (op.type) {
+    case OpType::kJoin: {
+      out.stats = ov.Join(peer);
+      if (out.stats.ok()) members->push_back(out.stats.peer);
+      break;
+    }
+    case OpType::kLeave: {
+      if (members->size() <= opts.min_members) {
+        out.disposition = AppliedOp::Disposition::kSkipped;
+        break;
+      }
+      out.stats = ov.Leave(peer);
+      if (out.stats.ok()) {
+        members->erase(members->begin() + static_cast<long>(idx));
+      }
+      break;
+    }
+    case OpType::kFail: {
+      if (members->size() <= opts.min_members) {
+        out.disposition = AppliedOp::Disposition::kSkipped;
+        break;
+      }
+      if (!ov.Supports(overlay::kFailRecovery)) {
+        out.disposition = AppliedOp::Disposition::kUnsupported;
+        break;
+      }
+      out.stats = ov.Fail(peer);
+      if (out.stats.ok() && opts.recover_failures) {
+        overlay::OpStats rec = ov.RecoverAllFailures();
+        BATON_CHECK(rec.ok()) << rec.status.ToString();
+        out.stats.messages += rec.messages;
+        out.stats.latency_ticks += rec.latency_ticks;
+      }
+      if (out.stats.ok()) {
+        members->erase(members->begin() + static_cast<long>(idx));
+      }
+      break;
+    }
+    case OpType::kInsert:
+      out.stats = ov.Insert(peer, op.key);
+      break;
+    case OpType::kDelete:
+      out.stats = ov.Delete(peer, op.key);
+      break;
+    case OpType::kExact:
+      out.stats = ov.ExactSearch(peer, op.key);
+      break;
+    case OpType::kRange: {
+      if (!ov.Supports(overlay::kRangeSearch)) {
+        out.disposition = AppliedOp::Disposition::kUnsupported;
+        break;
+      }
+      out.stats = ov.RangeSearch(peer, op.key, op.key_hi);
+      break;
+    }
+    case OpType::kNumOpTypes:
+      BATON_CHECK(false) << "kNumOpTypes is a sentinel, not an op";
+  }
+  return out;
+}
+
 ReplayResult Replay(overlay::Overlay& ov, const Trace& trace, Rng* rng,
                     std::vector<net::PeerId>* members,
                     const ReplayOptions& opts) {
@@ -49,75 +111,26 @@ ReplayResult Replay(overlay::Overlay& ov, const Trace& trace, Rng* rng,
   ReplayResult res;
   for (const Op& op : trace) {
     OpAggregate* agg = &res.per_op[static_cast<size_t>(op.type)];
-    // The one rng draw this op gets, taken before any capability or guard
-    // check so every backend consumes an identical random stream.
-    size_t idx = rng->NextBelow(members->size());
-    net::PeerId peer = (*members)[idx];
-    switch (op.type) {
-      case OpType::kJoin: {
-        overlay::OpStats st = ov.Join(peer);
-        Accumulate(agg, st, &res);
-        if (st.ok()) members->push_back(st.peer);
+    AppliedOp applied = ApplyOp(ov, op, rng, members, opts);
+    switch (applied.disposition) {
+      case AppliedOp::Disposition::kSkipped:
+        ++agg->skipped;
         break;
-      }
-      case OpType::kLeave: {
-        if (members->size() <= opts.min_members) {
-          ++agg->skipped;
-          break;
-        }
-        overlay::OpStats st = ov.Leave(peer);
-        Accumulate(agg, st, &res);
-        if (st.ok()) {
-          members->erase(members->begin() + static_cast<long>(idx));
+      case AppliedOp::Disposition::kUnsupported:
+        ++agg->unsupported;
+        break;
+      case AppliedOp::Disposition::kExecuted:
+        agg->Accumulate(applied.stats);
+        res.total_messages += applied.stats.messages;
+        res.total_latency += applied.stats.latency_ticks;
+        if (opts.record_answers) {
+          if (op.type == OpType::kExact) {
+            res.exact_found.push_back(applied.stats.found);
+          } else if (op.type == OpType::kRange) {
+            res.range_matches.push_back(applied.stats.matches);
+          }
         }
         break;
-      }
-      case OpType::kFail: {
-        if (members->size() <= opts.min_members) {
-          ++agg->skipped;
-          break;
-        }
-        if (!ov.Supports(overlay::kFailRecovery)) {
-          ++agg->unsupported;
-          break;
-        }
-        overlay::OpStats st = ov.Fail(peer);
-        if (st.ok() && opts.recover_failures) {
-          overlay::OpStats rec = ov.RecoverAllFailures();
-          BATON_CHECK(rec.ok()) << rec.status.ToString();
-          st.messages += rec.messages;
-          st.latency_ticks += rec.latency_ticks;
-        }
-        Accumulate(agg, st, &res);
-        if (st.ok()) {
-          members->erase(members->begin() + static_cast<long>(idx));
-        }
-        break;
-      }
-      case OpType::kInsert:
-        Accumulate(agg, ov.Insert(peer, op.key), &res);
-        break;
-      case OpType::kDelete:
-        Accumulate(agg, ov.Delete(peer, op.key), &res);
-        break;
-      case OpType::kExact: {
-        overlay::OpStats st = ov.ExactSearch(peer, op.key);
-        Accumulate(agg, st, &res);
-        if (opts.record_answers) res.exact_found.push_back(st.found);
-        break;
-      }
-      case OpType::kRange: {
-        if (!ov.Supports(overlay::kRangeSearch)) {
-          ++agg->unsupported;
-          break;
-        }
-        overlay::OpStats st = ov.RangeSearch(peer, op.key, op.key_hi);
-        Accumulate(agg, st, &res);
-        if (opts.record_answers) res.range_matches.push_back(st.matches);
-        break;
-      }
-      case OpType::kNumOpTypes:
-        BATON_CHECK(false) << "kNumOpTypes is a sentinel, not an op";
     }
   }
   return res;

@@ -55,6 +55,12 @@ struct OpAggregate {
   obs::LogHistogram messages_hist;
   obs::LogHistogram latency_hist;
 
+  /// Folds one executed op's stats into the aggregate (counts, totals and
+  /// histograms; negative hops sentinels clamp to 0). Callers that track
+  /// trace-wide totals (Replay, the serving engine) add messages/latency to
+  /// those themselves.
+  void Accumulate(const overlay::OpStats& st);
+
   /// Combines another aggregate into this one (cross-seed bench rollups).
   void Merge(const OpAggregate& other);
 
@@ -96,6 +102,30 @@ struct ReplayResult {
     return per_op[static_cast<size_t>(t)];
   }
 };
+
+/// Outcome of driving one trace op through an overlay via ApplyOp.
+struct AppliedOp {
+  /// What happened to the op, mirroring the OpAggregate bookkeeping:
+  /// kExecuted ops carry `stats`; kSkipped ops were guarded by
+  /// ReplayOptions::min_members; kUnsupported ops hit a capability gate.
+  enum class Disposition : uint8_t { kExecuted, kSkipped, kUnsupported };
+  Disposition disposition = Disposition::kExecuted;
+  overlay::OpStats stats;
+
+  bool executed() const { return disposition == Disposition::kExecuted; }
+};
+
+/// Executes ONE trace op against `ov` with Replay's exact semantics: one
+/// rng draw before any capability/guard check (cross-backend stream
+/// alignment), min_members guards on kLeave/kFail, RecoverAllFailures
+/// folded into kFail when opts.recover_failures, and `members` maintained
+/// across membership changes. Replay is a loop over this function; the
+/// serving engine admits ops through it one event at a time -- sharing the
+/// implementation is what makes the engine's closed-loop mode match Replay
+/// aggregates exactly, by construction.
+AppliedOp ApplyOp(overlay::Overlay& ov, const Op& op, Rng* rng,
+                  std::vector<net::PeerId>* members,
+                  const ReplayOptions& opts);
 
 /// Replays `trace` against `ov`, picking op origins/contacts/victims from
 /// `members` via `rng` and maintaining `members` across membership changes

@@ -1,0 +1,428 @@
+// Tests for the serving engine: arrival processes, the FIFO node model's
+// Lindley recursion, open-loop queueing behaviour, overload accounting
+// (drops, timeouts), and the differential anchor -- closed-loop engine
+// replay matches workload::Replay aggregates exactly on every backend.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/trail.h"
+#include "overlay/registry.h"
+#include "serve/arrivals.h"
+#include "serve/engine.h"
+#include "serve/node_model.h"
+#include "sim/latency.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/replay.h"
+#include "workload/workload.h"
+
+namespace baton {
+namespace {
+
+using serve::Engine;
+using serve::EngineConfig;
+using serve::EngineResult;
+using serve::NodeModel;
+using workload::Op;
+using workload::OpType;
+
+// ---------- Arrivals ----------
+
+TEST(Arrivals, FixedRateEmitsEvenGaps) {
+  serve::FixedArrivals a(0.5);  // one request every 2 ticks
+  for (sim::Time expect : {0u, 2u, 4u, 6u, 8u}) {
+    EXPECT_EQ(a.Next(), expect);
+  }
+}
+
+TEST(Arrivals, FixedRateAccumulatesFractionalGaps) {
+  // Gap 2.5 ticks: individual emissions round down to the containing tick,
+  // but the accumulator must not drift -- 100 gaps still span ~250 ticks.
+  serve::FixedArrivals a(0.4);
+  sim::Time t = 0;
+  for (int i = 0; i <= 100; ++i) t = a.Next();
+  EXPECT_GE(t, 248u);
+  EXPECT_LE(t, 250u);
+}
+
+TEST(Arrivals, PoissonIsDeterministicPerSeedAndNonDecreasing) {
+  serve::PoissonArrivals a(0.1, 7), b(0.1, 7), c(0.1, 8);
+  sim::Time prev = 0;
+  bool any_diff = false;
+  for (int i = 0; i < 200; ++i) {
+    sim::Time t = a.Next();
+    EXPECT_EQ(t, b.Next());  // same seed, same schedule
+    if (t != c.Next()) any_diff = true;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_TRUE(any_diff);  // different seed, different schedule
+  // 200 draws at mean gap 10: the long-run rate should be in the ballpark.
+  EXPECT_GT(prev, 1000u);
+  EXPECT_LT(prev, 4000u);
+}
+
+TEST(Arrivals, TraceReplaysAndExtendsWithTailGap) {
+  serve::TraceArrivals a({5, 5, 8, 20});
+  EXPECT_EQ(a.Next(), 5u);
+  EXPECT_EQ(a.Next(), 5u);
+  EXPECT_EQ(a.Next(), 8u);
+  EXPECT_EQ(a.Next(), 20u);
+  // Beyond the schedule: the final gap (20 - 8 = 12) repeats.
+  EXPECT_EQ(a.Next(), 32u);
+  EXPECT_EQ(a.Next(), 44u);
+}
+
+TEST(ArrivalsDeathTest, TraceRejectsDecreasingTimes) {
+  EXPECT_DEATH(serve::TraceArrivals({5, 3}), "non-decreasing");
+}
+
+// ---------- NodeModel ----------
+
+TEST(NodeModel, LindleyRecursionQueuesFifo) {
+  NodeModel nm(10);
+  auto a = nm.Admit(0, 0, 0);  // idle: starts immediately
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(a.done, 10u);
+  EXPECT_EQ(a.ahead, 0u);
+  auto b = nm.Admit(0, 0, 0);  // behind a
+  EXPECT_EQ(b.start, 10u);
+  EXPECT_EQ(b.done, 20u);
+  EXPECT_EQ(b.ahead, 1u);
+  auto c = nm.Admit(0, 5, 0);  // behind a (in service) and b
+  EXPECT_EQ(c.start, 20u);
+  EXPECT_EQ(c.ahead, 2u);
+  auto d = nm.Admit(0, 100, 0);  // node drained long ago
+  EXPECT_EQ(d.start, 100u);
+  EXPECT_EQ(d.ahead, 0u);
+  // Independent nodes do not interact.
+  auto e = nm.Admit(3, 0, 0);
+  EXPECT_EQ(e.start, 0u);
+  EXPECT_EQ(nm.served(0), 4u);
+  EXPECT_EQ(nm.served(3), 1u);
+  EXPECT_EQ(nm.peak_depth(0), 2u);
+  EXPECT_EQ(nm.max_served(), 4u);
+  EXPECT_EQ(nm.max_peak_depth(), 2u);
+  EXPECT_EQ(nm.total_served(), 5u);
+  EXPECT_EQ(nm.total_busy_ticks(), 50u);
+}
+
+TEST(NodeModel, QueueBoundRefusesWithoutSideEffects) {
+  NodeModel nm(10);
+  nm.Admit(0, 0, 2);
+  nm.Admit(0, 0, 2);  // ahead=1, admitted (bound is 2)
+  auto refused = nm.Admit(0, 0, 2);  // ahead=2 >= bound
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_EQ(nm.served(0), 2u);   // state untouched by the refusal
+  EXPECT_EQ(nm.total_served(), 2u);
+  // The refused message consumed no capacity: the next admission after the
+  // backlog drains starts exactly when the two admitted messages finish.
+  auto later = nm.Admit(0, 20, 2);
+  EXPECT_TRUE(later.accepted);
+  EXPECT_EQ(later.start, 20u);
+}
+
+TEST(NodeModel, ZeroServiceTicksIsNullModel) {
+  NodeModel nm(0);
+  auto a = nm.Admit(0, 7, 0);
+  auto b = nm.Admit(0, 7, 0);
+  EXPECT_EQ(a.done, 7u);
+  EXPECT_EQ(b.start, 7u);
+  EXPECT_EQ(b.ahead, 0u);  // nothing ever waits
+}
+
+// ---------- Engine ----------
+
+struct Built {
+  std::unique_ptr<overlay::Overlay> ov;
+  std::vector<net::PeerId> members;
+};
+
+/// Grows an overlay to n members via random contacts (bench_common is not
+/// linked into tests).
+Built Grow(const std::string& name, size_t n, uint64_t seed) {
+  overlay::Config cfg;
+  cfg.seed = seed;
+  Built b;
+  b.ov = overlay::Make(name, cfg);
+  BATON_CHECK(b.ov != nullptr) << "unknown backend " << name;
+  Rng rng(Mix64(seed));
+  b.members.push_back(b.ov->Bootstrap());
+  while (b.members.size() < n) {
+    auto st = b.ov->Join(b.members[rng.NextBelow(b.members.size())]);
+    BATON_CHECK(st.ok()) << st.status.ToString();
+    b.members.push_back(st.peer);
+  }
+  return b;
+}
+
+workload::Trace ExactTrace(size_t ops, workload::KeyGenerator* gen,
+                           uint64_t seed) {
+  Rng rng(Mix64(seed));
+  workload::Trace trace;
+  trace.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    trace.push_back({OpType::kExact, gen->Next(&rng), 0});
+  }
+  return trace;
+}
+
+void ExpectAggregatesEqual(const workload::ReplayResult& a,
+                           const workload::ReplayResult& b) {
+  for (size_t i = 0; i < static_cast<size_t>(workload::kNumOpTypes); ++i) {
+    const workload::OpAggregate& x = a.per_op[i];
+    const workload::OpAggregate& y = b.per_op[i];
+    EXPECT_EQ(x.count, y.count) << "op " << i;
+    EXPECT_EQ(x.ok, y.ok) << "op " << i;
+    EXPECT_EQ(x.found, y.found) << "op " << i;
+    EXPECT_EQ(x.skipped, y.skipped) << "op " << i;
+    EXPECT_EQ(x.unsupported, y.unsupported) << "op " << i;
+    EXPECT_EQ(x.messages, y.messages) << "op " << i;
+    EXPECT_EQ(x.hops, y.hops) << "op " << i;
+    EXPECT_EQ(x.latency, y.latency) << "op " << i;
+    EXPECT_EQ(x.hops_hist, y.hops_hist) << "op " << i;
+    EXPECT_EQ(x.messages_hist, y.messages_hist) << "op " << i;
+    EXPECT_EQ(x.latency_hist, y.latency_hist) << "op " << i;
+  }
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.exact_found, b.exact_found);
+  EXPECT_EQ(a.range_matches, b.range_matches);
+}
+
+/// The differential anchor: the engine's closed-loop mode must reproduce
+/// workload::Replay's aggregates EXACTLY -- same rng discipline, same
+/// member bookkeeping, same OpStats -- on every registered backend. A mixed
+/// trace (with membership churn woven in) exercises every ApplyOp path.
+TEST(Engine, ClosedLoopMatchesReplayOnAllBackends) {
+  for (const std::string& name : overlay::RegisteredNames()) {
+    SCOPED_TRACE(name);
+    Built ground = Grow(name, 40, 11);
+    Built served = Grow(name, 40, 11);
+
+    Rng trng(Mix64(99));
+    workload::UniformKeys gen(1, 100000);
+    workload::Trace trace =
+        MakeMixedTrace(&trng, &gen, 30, 10, 40, 10, 500);
+    // Weave membership churn through the query mix.
+    trace.insert(trace.begin() + 5, {OpType::kJoin, 0, 0});
+    trace.insert(trace.begin() + 25, {OpType::kLeave, 0, 0});
+    trace.insert(trace.begin() + 45, {OpType::kJoin, 0, 0});
+
+    workload::ReplayOptions ropts;
+    ropts.record_answers = true;
+
+    Rng r1(42);
+    workload::ReplayResult expected =
+        workload::Replay(*ground.ov, trace, &r1, &ground.members, ropts);
+
+    EngineConfig cfg;
+    cfg.replay = ropts;
+    Engine engine(served.ov.get(), &served.members, cfg);
+    Rng r2(42);
+    EngineResult got = engine.RunClosedLoop(trace, &r2);
+
+    ExpectAggregatesEqual(got.replay, expected);
+    EXPECT_EQ(ground.members, served.members);
+    uint64_t not_run = 0;
+    for (int i = 0; i < workload::kNumOpTypes; ++i) {
+      not_run += got.replay.per_op[static_cast<size_t>(i)].skipped +
+                 got.replay.per_op[static_cast<size_t>(i)].unsupported;
+    }
+    EXPECT_EQ(got.admitted + not_run, trace.size());
+    EXPECT_EQ(got.completed, got.admitted);  // nothing drops in closed loop
+    EXPECT_EQ(got.dropped, 0u);
+  }
+}
+
+TEST(Engine, SlowOpenLoopMatchesClosedLoopSojourns) {
+  // Arrivals far slower than any op's drain time mean zero contention: the
+  // open loop IS the closed loop on a stretched timeline, so the sojourn
+  // distribution must match exactly.
+  Built a = Grow("baton", 50, 3);
+  Built b = Grow("baton", 50, 3);
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(200, &gen, 5);
+
+  EngineConfig cfg;
+  Engine closed(a.ov.get(), &a.members, cfg);
+  Rng r1(7);
+  EngineResult base = closed.RunClosedLoop(trace, &r1);
+
+  Engine open(b.ov.get(), &b.members, cfg);
+  serve::FixedArrivals slow(0.0005);  // one op per 2000 ticks
+  Rng r2(7);
+  EngineResult res = open.Run(trace, &slow, &r2);
+
+  EXPECT_EQ(res.completed, base.completed);
+  EXPECT_EQ(res.sojourn, base.sojourn);
+  EXPECT_EQ(res.peak_queue_depth, 0u);
+}
+
+TEST(Engine, FasterArrivalsQueueMore) {
+  Built a = Grow("baton", 50, 3);
+  Built b = Grow("baton", 50, 3);
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(300, &gen, 5);
+
+  EngineConfig cfg;
+  cfg.service_ticks = 4;
+  Engine slow_e(a.ov.get(), &a.members, cfg);
+  serve::FixedArrivals slow(0.001);
+  Rng r1(7);
+  EngineResult uncontended = slow_e.Run(trace, &slow, &r1);
+
+  Engine fast_e(b.ov.get(), &b.members, cfg);
+  serve::FixedArrivals fast(2.0);
+  Rng r2(7);
+  EngineResult contended = fast_e.Run(trace, &fast, &r2);
+
+  EXPECT_EQ(contended.completed, uncontended.completed);
+  EXPECT_GT(contended.sojourn.Mean(), uncontended.sojourn.Mean());
+  EXPECT_GT(contended.peak_queue_depth, uncontended.peak_queue_depth);
+}
+
+TEST(Engine, ZipfSkewQueuesWorseThanUniformAtEqualLoad) {
+  // Same arrival schedule, same overlay shape; only which keys the queries
+  // ask for differs. The skewed stream hammers the popular keys' owners,
+  // so queueing delay -- not hop count -- drives its sojourn tail up.
+  Built a = Grow("baton", 60, 13);
+  Built b = Grow("baton", 60, 13);
+  workload::UniformKeys uni(1, 100000000);
+  workload::ZipfKeys zipf(1, 100000000, 0.99);
+  workload::Trace ut = ExactTrace(400, &uni, 21);
+  workload::Trace zt = ExactTrace(400, &zipf, 21);
+
+  EngineConfig cfg;
+  cfg.service_ticks = 2;
+  double rate = 1.0;  // ops/tick, well past the hot node's capacity
+  Engine ue(a.ov.get(), &a.members, cfg);
+  serve::FixedArrivals ua(rate);
+  Rng r1(7);
+  EngineResult ur = ue.Run(ut, &ua, &r1);
+
+  Engine ze(b.ov.get(), &b.members, cfg);
+  serve::FixedArrivals za(rate);
+  Rng r2(7);
+  EngineResult zr = ze.Run(zt, &za, &r2);
+
+  EXPECT_GT(zr.sojourn.Mean(), ur.sojourn.Mean());
+  EXPECT_GT(zr.peak_queue_depth, ur.peak_queue_depth);
+}
+
+TEST(Engine, BoundedQueuesShedLoad) {
+  Built a = Grow("baton", 40, 17);
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(300, &gen, 9);
+
+  EngineConfig cfg;
+  cfg.service_ticks = 4;
+  cfg.max_queue = 2;
+  Engine engine(a.ov.get(), &a.members, cfg);
+  serve::FixedArrivals burst(4.0);  // far past capacity
+  Rng rng(7);
+  EngineResult res = engine.Run(trace, &burst, &rng);
+
+  EXPECT_GT(res.dropped, 0u);
+  EXPECT_EQ(res.completed + res.dropped, res.admitted);
+  // A message is refused once `max_queue` are already waiting, so no node's
+  // backlog can exceed the bound.
+  EXPECT_LE(res.peak_queue_depth, 2u);
+}
+
+TEST(Engine, DeadlinesTimeOutUnderOverload) {
+  Built a = Grow("baton", 40, 17);
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(300, &gen, 9);
+
+  EngineConfig cfg;
+  cfg.service_ticks = 4;
+  cfg.timeout_ticks = 30;  // unbounded queues: sojourns grow past any deadline
+  Engine engine(a.ov.get(), &a.members, cfg);
+  serve::FixedArrivals burst(4.0);
+  Rng rng(7);
+  EngineResult res = engine.Run(trace, &burst, &rng);
+
+  EXPECT_EQ(res.dropped, 0u);
+  EXPECT_GT(res.timed_out, 0u);
+  // Timed-out ops still completed (the deadline models client abandonment).
+  EXPECT_EQ(res.completed, res.admitted);
+  EXPECT_LE(res.timed_out, res.completed);
+}
+
+TEST(Engine, RestoresObserverChainAndFeedsIt) {
+  // The engine splices its MessageTrail over whatever observer is already
+  // attached; the original must keep seeing every message during the run
+  // and be re-attached afterwards.
+  Built a = Grow("baton", 30, 19);
+  net::MessageTrail outer(nullptr);
+  a.ov->network()->AttachObserver(&outer);
+  size_t before = outer.hops().size();
+
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(50, &gen, 9);
+  EngineConfig cfg;
+  Engine engine(a.ov.get(), &a.members, cfg);
+  Rng rng(7);
+  EngineResult res = engine.RunClosedLoop(trace, &rng);
+
+  EXPECT_EQ(a.ov->network()->observer(), &outer);
+  EXPECT_EQ(outer.hops().size(),
+            before + res.replay.total_messages);  // chained through
+}
+
+TEST(Engine, ComposesWithAttachedSimKernel) {
+  // With a latency model attached (the per-op critical-path machinery), the
+  // engine must leave that kernel's queue alone -- and the per-op latency
+  // aggregates must match what sequential Replay measures.
+  Built ground = Grow("baton", 40, 23);
+  Built served = Grow("baton", 40, 23);
+  sim::EventQueue gq, sq;
+  sim::ConstantLatency lat(3);
+  ground.ov->AttachLatency(&gq, &lat, 77);
+  served.ov->AttachLatency(&sq, &lat, 77);
+
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(100, &gen, 9);
+
+  Rng r1(7);
+  workload::ReplayResult expected =
+      workload::Replay(*ground.ov, trace, &r1, &ground.members, {});
+
+  EngineConfig cfg;
+  Engine engine(served.ov.get(), &served.members, cfg);
+  Rng r2(7);
+  EngineResult got = engine.RunClosedLoop(trace, &r2);
+
+  ExpectAggregatesEqual(got.replay, expected);
+  EXPECT_GT(got.replay.total_latency, 0u);  // the sim kernel kept measuring
+}
+
+TEST(Engine, PublishesServeMetrics) {
+  Built a = Grow("baton", 30, 29);
+  workload::UniformKeys gen(1, 100000);
+  workload::Trace trace = ExactTrace(60, &gen, 9);
+
+  obs::Registry reg;
+  EngineConfig cfg;
+  Engine engine(a.ov.get(), &a.members, cfg, &reg);
+  serve::PoissonArrivals arrivals(0.2, 31);
+  Rng rng(7);
+  EngineResult res = engine.Run(trace, &arrivals, &rng);
+
+  EXPECT_EQ(reg.CounterValue("serve.ops_admitted"), res.admitted);
+  EXPECT_EQ(reg.CounterValue("serve.ops_completed"), res.completed);
+  ASSERT_NE(reg.FindHist("serve.sojourn_ticks"), nullptr);
+  EXPECT_EQ(reg.FindHist("serve.sojourn_ticks")->count(), res.completed);
+  const std::vector<uint64_t>* served = reg.FindPerNode("serve.node.served");
+  ASSERT_NE(served, nullptr);
+  uint64_t sum = 0;
+  for (uint64_t v : *served) sum += v;
+  EXPECT_EQ(sum, res.replay.total_messages);
+}
+
+}  // namespace
+}  // namespace baton

@@ -1,6 +1,10 @@
 // Unit tests for the discrete-event kernel and the message-counting network.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 #include "net/network.h"
 #include "sim/event_queue.h"
 #include "sim/latency.h"
@@ -90,6 +94,67 @@ TEST(EventQueue, MaxEventsBudget) {
   for (int i = 0; i < 10; ++i) q.ScheduleAt(static_cast<sim::Time>(i), [&] { ++fired; });
   EXPECT_EQ(q.RunUntilIdle(3), 3u);
   EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ManyInterleavedChainsAreDeterministic) {
+  // The serving-engine workload: many in-flight operation chains, each hop
+  // rescheduling the next from inside its handler, all racing on one queue.
+  // Two identical schedules must produce identical interleavings.
+  auto run = [](int chains, int hops) {
+    sim::EventQueue q;
+    std::vector<std::pair<int, sim::Time>> log;
+    std::function<void(int, int)> hop = [&](int chain, int remaining) {
+      log.emplace_back(chain, q.now());
+      if (remaining > 0) {
+        // Stagger by chain id so chains repeatedly collide at equal ticks.
+        q.ScheduleAfter(static_cast<sim::Time>(1 + chain % 3),
+                        [&hop, chain, remaining] { hop(chain, remaining - 1); });
+      }
+    };
+    for (int c = 0; c < chains; ++c) {
+      q.ScheduleAt(static_cast<sim::Time>(c % 4),
+                   [&hop, c, hops] { hop(c, hops); });
+    }
+    q.RunUntilIdle();
+    return log;
+  };
+  auto a = run(25, 12);
+  auto b = run(25, 12);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 25u * 13u);
+  // Chronological, with same-tick events in schedule order.
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i].second, a[i - 1].second);
+}
+
+TEST(EventQueue, SameTickOrderingAcrossInFlightChains) {
+  // Events scheduled for the SAME tick from different handlers run in the
+  // order they were scheduled, even through heap reshuffles.
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.ScheduleAt(5, [&q, &order, i] {
+      // All of these land on tick 9 -- insertion order must hold.
+      q.ScheduleAfter(4, [&order, i] { order.push_back(i); });
+    });
+  }
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, ScheduleAfterZeroFromHandlerRunsSameTick) {
+  // A handler may schedule a continuation at the CURRENT tick; it runs
+  // after every previously scheduled same-tick event, before time advances.
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3, [&] {
+    order.push_back(1);
+    q.ScheduleAfter(0, [&] { order.push_back(3); });
+  });
+  q.ScheduleAt(3, [&] { order.push_back(2); });
+  q.ScheduleAt(4, [&] { order.push_back(4); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now(), 4u);
 }
 
 TEST(Latency, ConstantAndUniform) {

@@ -86,17 +86,21 @@ void Run(const Options& opt) {
               net::PeerId victim = live_member();
               at_risk += tree.node(victim).data.size();
               ++failures_run;
-              bi.overlay->Fail(victim);
+              BATON_CHECK(bi.overlay->Fail(victim).ok());
               // Single-failure trace: recovery completes before the next op.
               BATON_CHECK(bi.overlay->RecoverAllFailures().ok());
               drop_member(victim);
               break;
             }
             case workload::OpType::kInsert:
-              bi.overlay->Insert(live_member(), op.key);
+              BATON_CHECK(bi.overlay->Insert(live_member(), op.key).ok());
               break;
             case workload::OpType::kExact:
-              bi.overlay->ExactSearch(live_member(), op.key);
+              // Single-failure trace + recovery-before-next-op above, so
+              // routing never hits a dead node: OK status is guaranteed
+              // (found/not-found is irrelevant to durability accounting).
+              BATON_CHECK(
+                  bi.overlay->ExactSearch(live_member(), op.key).ok());
               break;
             default:
               break;

@@ -29,7 +29,7 @@
 // is the deepest node backlog any seed saw.
 //
 //   ./bench_throughput --sizes=200 --seeds=1
-//   ./bench_throughput --overlay=baton,chord --load=0.5,1.0,2.0 \
+//   ./bench_throughput --overlay=baton,chord --load=0.5,1.0,2.0
 //       --key-dist=uniform,zipf:0.9 --arrivals=fixed --service-ticks=4
 #include <memory>
 #include <string>

@@ -64,7 +64,10 @@ int main() {
     Key ts = next_ts();
     auto st = index->Insert(peers[data_rng.NextBelow(peers.size())], ts);
     if (!st.ok()) std::printf("insert failed: %s\n", st.status.ToString().c_str());
-    dht->Insert(dht_peers[data_rng.NextBelow(dht_peers.size())], ts);
+    auto dst = dht->Insert(dht_peers[data_rng.NextBelow(dht_peers.size())], ts);
+    if (!dst.ok()) {
+      std::printf("dht insert failed: %s\n", dst.status.ToString().c_str());
+    }
   }
   index->CheckInvariants();
   std::printf("ingested %llu orders across %zu peers (LB ops: %llu)\n",

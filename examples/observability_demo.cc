@@ -15,6 +15,7 @@
 #include "overlay/registry.h"
 #include "sim/event_queue.h"
 #include "sim/latency.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 int main() {
@@ -28,8 +29,10 @@ int main() {
     if (joined.ok()) members.push_back(joined.peer);
   }
   for (int i = 0; i < 2000; ++i) {
-    overlay->Insert(members[rng.NextBelow(members.size())],
-                    rng.UniformInt(1, 999999999));
+    BATON_CHECK(overlay
+                    ->Insert(members[rng.NextBelow(members.size())],
+                             rng.UniformInt(1, 999999999))
+                    .ok());
   }
 
   // Attach AFTER the build, exactly like AttachLatency: only the workload
@@ -43,16 +46,21 @@ int main() {
   overlay->AttachObserver(&observer);
 
   for (int q = 0; q < 500; ++q) {
-    overlay->ExactSearch(members[rng.NextBelow(members.size())],
-                         rng.UniformInt(1, 999999999));
+    BATON_CHECK(overlay
+                    ->ExactSearch(members[rng.NextBelow(members.size())],
+                                  rng.UniformInt(1, 999999999))
+                    .ok());
   }
   for (int q = 0; q < 50; ++q) {
     Key lo = rng.UniformInt(1, 999000000);
-    overlay->RangeSearch(members[rng.NextBelow(members.size())], lo,
-                         lo + 1000000);
+    BATON_CHECK(overlay
+                    ->RangeSearch(members[rng.NextBelow(members.size())], lo,
+                                  lo + 1000000)
+                    .ok());
   }
   for (int q = 0; q < 20; ++q) {
-    overlay->Join(members[rng.NextBelow(members.size())]);
+    BATON_CHECK(
+        overlay->Join(members[rng.NextBelow(members.size())]).ok());
   }
 
   // ---- The registry answers "what happened?" after the fact ---------------

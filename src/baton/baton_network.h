@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+// lint: allow(unordered-iteration) -- recruit_dir_ below; see its comment
 #include <unordered_map>
 #include <vector>
 
@@ -431,6 +432,7 @@ class BatonNetwork {
   /// unordered_map enumeration. Keeping the legacy container for that one
   /// cold path preserves those tables bit-for-bit while every routing-hop
   /// probe goes through the flat pos_index_.
+  // lint: allow(unordered-iteration) -- ablation tables were recorded against unordered_map enumeration order (see comment above)
   std::unordered_map<uint64_t, PeerId> recruit_dir_;
   std::vector<PeerId> failed_;
 

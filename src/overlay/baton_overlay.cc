@@ -83,7 +83,10 @@ BatonNetwork& BatonBackend(Overlay& ov) {
 }
 
 const BatonNetwork& BatonBackend(const Overlay& ov) {
-  return BatonBackend(const_cast<Overlay&>(ov));
+  const auto* adapter = dynamic_cast<const BatonOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the baton backend";
+  return adapter->baton();
 }
 
 }  // namespace overlay

@@ -17,6 +17,7 @@ class BatonOverlay : public Overlay {
   const std::string& name() const override;
   uint32_t capabilities() const override;
   net::Network* network() override { return &net_; }
+  const net::Network* network() const override { return &net_; }
 
   size_t size() const override { return baton_->size(); }
   std::vector<PeerId> Members() const override { return baton_->Members(); }

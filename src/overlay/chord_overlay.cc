@@ -55,7 +55,10 @@ chord::ChordNetwork& ChordBackend(Overlay& ov) {
 }
 
 const chord::ChordNetwork& ChordBackend(const Overlay& ov) {
-  return ChordBackend(const_cast<Overlay&>(ov));
+  const auto* adapter = dynamic_cast<const ChordOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the chord backend";
+  return adapter->chord();
 }
 
 }  // namespace overlay

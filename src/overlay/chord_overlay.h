@@ -21,6 +21,7 @@ class ChordOverlay : public Overlay {
   const std::string& name() const override;
   uint32_t capabilities() const override { return 0; }
   net::Network* network() override { return &net_; }
+  const net::Network* network() const override { return &net_; }
 
   size_t size() const override { return ring_->size(); }
   std::vector<PeerId> Members() const override { return ring_->members(); }

@@ -80,7 +80,10 @@ d3tree::D3TreeNetwork& D3TreeBackend(Overlay& ov) {
 }
 
 const d3tree::D3TreeNetwork& D3TreeBackend(const Overlay& ov) {
-  return D3TreeBackend(const_cast<Overlay&>(ov));
+  const auto* adapter = dynamic_cast<const D3TreeOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the d3tree backend";
+  return adapter->d3tree();
 }
 
 }  // namespace overlay

@@ -23,6 +23,7 @@ class D3TreeOverlay : public Overlay {
     return kRangeSearch | kOrderedGrowth | kLoadBalance | kFailRecovery;
   }
   net::Network* network() override { return &net_; }
+  const net::Network* network() const override { return &net_; }
 
   size_t size() const override { return tree_->size(); }
   std::vector<PeerId> Members() const override { return tree_->Members(); }

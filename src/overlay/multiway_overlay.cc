@@ -69,7 +69,10 @@ multiway::MultiwayNetwork& MultiwayBackend(Overlay& ov) {
 }
 
 const multiway::MultiwayNetwork& MultiwayBackend(const Overlay& ov) {
-  return MultiwayBackend(const_cast<Overlay&>(ov));
+  const auto* adapter = dynamic_cast<const MultiwayOverlay*>(&ov);
+  BATON_CHECK(adapter != nullptr)
+      << "overlay '" << ov.name() << "' is not the multiway backend";
+  return adapter->multiway();
 }
 
 }  // namespace overlay

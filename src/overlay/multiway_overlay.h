@@ -22,6 +22,7 @@ class MultiwayOverlay : public Overlay {
     return kRangeSearch | kOrderedGrowth;
   }
   net::Network* network() override { return &net_; }
+  const net::Network* network() const override { return &net_; }
 
   size_t size() const override { return tree_->size(); }
   std::vector<PeerId> Members() const override { return tree_->Members(); }

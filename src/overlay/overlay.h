@@ -57,7 +57,11 @@ std::string CapabilitiesToString(uint32_t caps);
 /// computes: `messages` as the raw net::Network counter delta across the
 /// operation, `latency_ticks` as the operation's simulated critical-path
 /// time when a sim/ event kernel is attached (see AttachLatency).
-struct OpStats {
+/// [[nodiscard]]: dropping an OpStats drops its Status -- a failed Join in
+/// a churn loop would silently desynchronise the member list from the
+/// overlay. Sites that really only care about the side effect discard
+/// explicitly with (void) and a reason.
+struct [[nodiscard]] OpStats {
   Status status = Status::OK();
   /// Operation-specific peer: the accepted joiner (Join) or the node whose
   /// range contains the key (ExactSearch).
@@ -94,9 +98,7 @@ class Overlay {
   /// backend). Exposed for liveness queries, per-peer counters, deferred
   /// updates and type-filtered message accounting.
   virtual net::Network* network() = 0;
-  const net::Network* network() const {
-    return const_cast<Overlay*>(this)->network();
-  }
+  virtual const net::Network* network() const = 0;
 
   /// Attaches the sim/ discrete-event kernel to the backend's network so
   /// every subsequent operation reports its simulated critical-path time in

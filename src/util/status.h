@@ -21,7 +21,10 @@ enum class StatusCode {
 };
 
 /// Plain status object carrying a code and a human-readable message.
-class Status {
+/// [[nodiscard]] at class level: every function returning a Status by value
+/// is a producer whose result must be checked (or explicitly discarded with
+/// a (void) cast and a comment saying why the failure mode is acceptable).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -76,7 +79,7 @@ class Status {
 
 /// Result<T>: a value or an error status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}               // NOLINT
   Result(Status status) : status_(std::move(status)) {        // NOLINT

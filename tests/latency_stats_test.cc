@@ -215,6 +215,7 @@ class NegativeHopsOverlay : public Overlay {
   }
   uint32_t capabilities() const override { return 0; }
   net::Network* network() override { return &net_; }
+  const net::Network* network() const override { return &net_; }
   size_t size() const override { return 1; }
   std::vector<net::PeerId> Members() const override { return {0}; }
   uint64_t total_keys() const override { return 0; }

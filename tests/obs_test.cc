@@ -50,8 +50,10 @@ Built Grow(const std::string& name, size_t n, uint64_t seed) {
     BATON_CHECK(st.ok()) << st.status.ToString();
     b.members.push_back(st.peer);
     for (int i = 0; i < 5; ++i) {
-      b.ov->Insert(b.members[rng.NextBelow(b.members.size())],
-                   keys.Next(&rng));
+      BATON_CHECK(b.ov
+                      ->Insert(b.members[rng.NextBelow(b.members.size())],
+                               keys.Next(&rng))
+                      .ok());
     }
   }
   return b;

@@ -164,10 +164,14 @@ TEST(OverlayOpStats, MessagesMatchRawCounterDelta) {
       EXPECT_TRUE(check([&] { return b.ov->Insert(origin(), k); }).ok());
     }
     for (int i = 0; i < 50; ++i) {
-      check([&] { return b.ov->ExactSearch(origin(), keys.Next(&rng)); });
+      EXPECT_TRUE(
+          check([&] { return b.ov->ExactSearch(origin(), keys.Next(&rng)); })
+              .ok());
       if (b.ov->Supports(Capability::kRangeSearch)) {
         Key lo = keys.Next(&rng);
-        check([&] { return b.ov->RangeSearch(origin(), lo, lo + 1000000); });
+        EXPECT_TRUE(
+            check([&] { return b.ov->RangeSearch(origin(), lo, lo + 1000000); })
+                .ok());
       }
     }
     for (int i = 0; i < 10; ++i) {

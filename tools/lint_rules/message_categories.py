@@ -1,0 +1,71 @@
+"""Cross-checks the net::MsgType enum against message.cc's switches.
+
+Every message type must have a human-readable name (MsgTypeName) and a
+backend-neutral category (CategoryOf): the figure benches aggregate by
+category, so an unmapped type falls into kOther and silently vanishes from
+the join/maintenance/query columns. C++'s -Wswitch only fires when the
+switch has no default *and* the translation unit recompiles; this check
+holds at lint time regardless, and gives the fix location. A new
+kD3*-style type can't land uncategorized.
+"""
+
+import re
+
+NAME = "message-categories"
+DESCRIPTION = ("every net::MsgType enumerator must appear in both "
+               "MsgTypeName and CategoryOf (src/net/message.cc)")
+
+_HEADER = "src/net/message.h"
+_IMPL = "src/net/message.cc"
+
+_ENUM_RE = re.compile(r"enum\s+class\s+MsgType[^{]*\{(.*?)\}", re.DOTALL)
+_ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\b", re.MULTILINE)
+_CASE_RE = re.compile(r"case\s+MsgType::(k\w+)")
+
+
+def _function_body(code, name):
+    """Text from `name`'s definition to the next brace in column 0."""
+    m = re.search(r"\b%s\s*\(" % re.escape(name), code)
+    if m is None:
+        return None
+    end = code.find("\n}", m.end())
+    return code[m.start():end if end != -1 else len(code)]
+
+
+def check(tree):
+    from . import Finding
+
+    files = set(tree.files())
+    if _HEADER not in files or _IMPL not in files:
+        # Mini source trees (fixtures) without a message layer: nothing to
+        # check rather than an error, so other rules' fixtures stay small.
+        return
+
+    header = tree.code(_HEADER)
+    enum_m = _ENUM_RE.search(header)
+    if enum_m is None:
+        yield Finding(NAME, _HEADER, 1, "cannot locate enum class MsgType")
+        return
+    enumerators = [e for e in _ENUMERATOR_RE.findall(enum_m.group(1))
+                   if e != "kNumTypes"]
+
+    impl = tree.code(_IMPL)
+    for fn in ("MsgTypeName", "CategoryOf"):
+        body = _function_body(impl, fn)
+        if body is None:
+            yield Finding(NAME, _IMPL, 1, "cannot locate %s()" % fn)
+            continue
+        covered = set(_CASE_RE.findall(body))
+        for e in enumerators:
+            if e not in covered:
+                # Point at the enumerator's declaration so the finding
+                # lands next to the line the author just added.
+                line = 1
+                for lineno, text in enumerate(tree.lines(_HEADER), start=1):
+                    if re.search(r"\b%s\b" % e, text):
+                        line = lineno
+                        break
+                yield Finding(
+                    NAME, _HEADER, line,
+                    "MsgType::%s has no case in %s() -- add it to "
+                    "%s" % (e, fn, _IMPL))

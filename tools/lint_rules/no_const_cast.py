@@ -1,0 +1,34 @@
+"""Rejects const_cast in src/ (everywhere but util/).
+
+The overlay layer used to implement its const Backend() downcasts and the
+const network() accessor by const_cast-ing away and calling the non-const
+path -- which compiles fine right up until someone mutates through a
+reference the caller believed was read-only. Proper const overloads cost
+four lines each; this rule keeps the pattern from growing back.
+
+util/ is exempt: low-level containers legitimately use const_cast to share
+one lookup implementation between const/non-const accessors over their own
+private storage.
+"""
+
+import re
+
+from . import grep
+
+NAME = "no-const-cast"
+DESCRIPTION = "bans const_cast in src/ outside util/"
+
+_PATTERN = re.compile(r"\bconst_cast\s*<")
+
+
+def check(tree):
+    from . import Finding
+
+    for path in tree.files():
+        if not path.startswith("src/") or path.startswith("src/util/"):
+            continue
+        for lineno, _ in grep(tree, path, _PATTERN):
+            yield Finding(
+                NAME, path, lineno,
+                "const_cast in protocol/overlay code: write a const "
+                "overload instead of casting constness away")

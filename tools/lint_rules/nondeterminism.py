@@ -1,0 +1,45 @@
+"""Rejects ambient-entropy sources in library code (src/).
+
+Every random draw must flow from an explicitly seeded util::Rng (or a seed
+passed in by the caller) and every timestamp from the sim/ virtual clock,
+or two runs of the same bench stop producing byte-identical tables. Wall
+clocks are legitimate only in bench/ timing loops, which this rule does
+not scan.
+"""
+
+import re
+
+from . import grep
+
+NAME = "nondeterminism"
+DESCRIPTION = ("bans rand()/srand()/time()/std::random_device/wall clocks/"
+               "default-seeded std engines in src/")
+
+_PATTERNS = [
+    (re.compile(r"\bs?rand\s*\("),
+     "C rand()/srand(): draw from an explicitly seeded util::Rng"),
+    (re.compile(r"(?<!\w)(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time(): wall-clock entropy; thread a seed or use sim:: ticks"),
+    (re.compile(r"std::random_device"),
+     "std::random_device: nondeterministic seed source"),
+    (re.compile(r"(?:system_clock|steady_clock|high_resolution_clock)\s*::"
+                r"\s*now\s*\("),
+     "wall-clock read in library code; timing belongs in bench/"),
+    (re.compile(r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+                r")\s+\w+\s*(?:;|\{\s*\})"),
+     "default-constructed std engine: pass an explicit seed (or use "
+     "util::Rng)"),
+    (re.compile(r"\bgetenv\s*\("),
+     "getenv(): environment-dependent behaviour; make it a flag or config"),
+]
+
+
+def check(tree):
+    from . import Finding
+
+    for path in tree.files():
+        if not path.startswith("src/"):
+            continue
+        for pattern, why in _PATTERNS:
+            for lineno, _ in grep(tree, path, pattern):
+                yield Finding(NAME, path, lineno, why)

@@ -1,0 +1,9 @@
+// Fixture: protocol code reaching up into the serving engine.
+#include "serve/engine.h"
+#include "util/check.h"
+
+namespace baton {
+
+int Reach() { return 1; }
+
+}  // namespace baton

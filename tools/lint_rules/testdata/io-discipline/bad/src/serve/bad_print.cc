@@ -1,0 +1,13 @@
+// Fixture: stdout writes from protocol code.
+#include <cstdio>
+#include <iostream>
+
+namespace baton {
+
+void Report(int depth) {
+  std::cout << "queue depth " << depth << "\n";
+  std::printf("depth=%d\n", depth);
+  std::fprintf(stdout, "depth=%d\n", depth);
+}
+
+}  // namespace baton

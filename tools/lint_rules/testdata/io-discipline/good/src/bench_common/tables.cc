@@ -1,0 +1,8 @@
+// Fixture: the bench harness owns stdout -- printf is allowed here.
+#include <cstdio>
+
+namespace baton {
+
+void EmitRow(int n) { std::printf("N=%d\n", n); }
+
+}  // namespace baton

@@ -1,0 +1,11 @@
+// Fixture: stderr diagnostics and string formatting are fine.
+#include <cstdio>
+
+namespace baton {
+
+void Report(int depth, char* buf, unsigned len) {
+  std::fprintf(stderr, "queue depth %d\n", depth);
+  std::snprintf(buf, len, "depth=%d", depth);
+}
+
+}  // namespace baton

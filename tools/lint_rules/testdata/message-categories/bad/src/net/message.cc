@@ -1,0 +1,26 @@
+#include "net/message.h"
+
+namespace baton {
+namespace net {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kAlpha: return "Alpha";
+    case MsgType::kBeta: return "Beta";
+    default: break;
+  }
+  return "Unknown";
+}
+
+MsgCategory CategoryOf(MsgType t) {
+  switch (t) {
+    case MsgType::kAlpha:
+      return MsgCategory::kQuery;
+    default:
+      break;  // kBeta silently falls into kOther -- the bug this rule catches
+  }
+  return MsgCategory::kOther;
+}
+
+}  // namespace net
+}  // namespace baton

@@ -1,0 +1,22 @@
+// Fixture: kBeta is declared but unmapped in message.cc's CategoryOf.
+#ifndef FIXTURE_NET_MESSAGE_H_
+#define FIXTURE_NET_MESSAGE_H_
+
+namespace baton {
+namespace net {
+
+enum class MsgType : unsigned short {
+  kAlpha = 0,
+  kBeta,        // new type someone forgot to categorize
+  kNumTypes,
+};
+
+enum class MsgCategory : unsigned char { kQuery, kOther };
+
+const char* MsgTypeName(MsgType t);
+MsgCategory CategoryOf(MsgType t);
+
+}  // namespace net
+}  // namespace baton
+
+#endif  // FIXTURE_NET_MESSAGE_H_

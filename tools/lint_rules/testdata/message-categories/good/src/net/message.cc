@@ -1,0 +1,27 @@
+#include "net/message.h"
+
+namespace baton {
+namespace net {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kAlpha: return "Alpha";
+    case MsgType::kBeta: return "Beta";
+    case MsgType::kNumTypes: break;
+  }
+  return "Unknown";
+}
+
+MsgCategory CategoryOf(MsgType t) {
+  switch (t) {
+    case MsgType::kAlpha:
+    case MsgType::kBeta:
+      return MsgCategory::kQuery;
+    case MsgType::kNumTypes:
+      break;
+  }
+  return MsgCategory::kOther;
+}
+
+}  // namespace net
+}  // namespace baton

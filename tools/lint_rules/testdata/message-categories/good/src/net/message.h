@@ -1,0 +1,22 @@
+// Fixture: every enumerator mapped in both switches.
+#ifndef FIXTURE_NET_MESSAGE_H_
+#define FIXTURE_NET_MESSAGE_H_
+
+namespace baton {
+namespace net {
+
+enum class MsgType : unsigned short {
+  kAlpha = 0,
+  kBeta,
+  kNumTypes,
+};
+
+enum class MsgCategory : unsigned char { kQuery, kOther };
+
+const char* MsgTypeName(MsgType t);
+MsgCategory CategoryOf(MsgType t);
+
+}  // namespace net
+}  // namespace baton
+
+#endif  // FIXTURE_NET_MESSAGE_H_

@@ -1,0 +1,12 @@
+// Fixture: the const_cast downcast pattern this rule exists to kill.
+namespace baton {
+
+struct Overlay {
+  int state = 0;
+};
+
+const int& Backend(const Overlay& ov) {
+  return const_cast<Overlay&>(ov).state;
+}
+
+}  // namespace baton

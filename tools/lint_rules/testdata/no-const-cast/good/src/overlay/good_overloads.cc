@@ -1,0 +1,11 @@
+// Fixture: proper const/non-const overload pair.
+namespace baton {
+
+struct Overlay {
+  int state = 0;
+};
+
+int& Backend(Overlay& ov) { return ov.state; }
+const int& Backend(const Overlay& ov) { return ov.state; }
+
+}  // namespace baton

@@ -1,0 +1,16 @@
+// Fixture: util/ containers may const_cast over their own storage to share
+// one lookup implementation between const and non-const accessors.
+#ifndef FIXTURE_UTIL_SHARED_LOOKUP_H_
+#define FIXTURE_UTIL_SHARED_LOOKUP_H_
+
+namespace baton {
+
+struct Slot {
+  int value = 0;
+  const int* Find() const { return &value; }
+  int* Find() { return const_cast<int*>(static_cast<const Slot*>(this)->Find()); }
+};
+
+}  // namespace baton
+
+#endif  // FIXTURE_UTIL_SHARED_LOOKUP_H_

@@ -1,0 +1,21 @@
+// Fixture: every banned ambient-entropy source, one per line.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace baton {
+
+unsigned Draw() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  unsigned a = static_cast<unsigned>(rand());
+  std::random_device rd;
+  std::mt19937 unseeded;
+  auto t = std::chrono::steady_clock::now();
+  const char* env = getenv("BATON_MODE");
+  (void)t;
+  (void)env;
+  return a + rd() + unseeded();
+}
+
+}  // namespace baton

@@ -1,0 +1,16 @@
+// Fixture: explicit seeding and virtual time are fine; so is prose that
+// merely *mentions* rand() or std::random_device in a comment, and code
+// whose identifiers merely end in "time".
+#include <cstdint>
+#include <random>
+
+namespace baton {
+
+uint64_t Draw(uint64_t seed) {
+  std::mt19937_64 engine(seed);  // explicitly seeded: deterministic
+  const char* label = "fallback to rand() is forbidden";
+  uint64_t service_time(3);  // paren-init identifier ending in "time"
+  return engine() + service_time + static_cast<uint64_t>(label[0]);
+}
+
+}  // namespace baton

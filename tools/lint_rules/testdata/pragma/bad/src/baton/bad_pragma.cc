@@ -1,0 +1,12 @@
+// Fixture: suppressions must name a real rule and carry a reason.
+#include <unordered_map>  // lint: allow(unordered-iteration)
+
+namespace baton {
+
+// lint: allow(no-such-rule) -- typo'd rule names must not silently no-op
+int Value() {
+  std::unordered_map<int, int> m;  // lint: allow(unordered-iteration) -- fixture: reasoned suppression passes
+  return static_cast<int>(m.size());
+}
+
+}  // namespace baton

@@ -1,0 +1,12 @@
+// Fixture: a reasoned suppression of a real rule is completely clean.
+#include <unordered_map>  // lint: allow(unordered-iteration) -- fixture: demonstrates the sanctioned escape hatch
+
+namespace baton {
+
+int Value() {
+  // lint: allow(unordered-iteration) -- fixture: pragma on the preceding line also works
+  std::unordered_map<int, int> m;
+  return static_cast<int>(m.size());
+}
+
+}  // namespace baton

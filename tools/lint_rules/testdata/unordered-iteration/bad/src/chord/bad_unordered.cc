@@ -1,0 +1,14 @@
+// Fixture: hash containers in protocol code, both the include and the use.
+#include <unordered_map>
+
+namespace baton {
+
+int SumValues() {
+  std::unordered_map<int, int> dir;
+  dir[1] = 2;
+  int sum = 0;
+  for (const auto& kv : dir) sum += kv.second;  // order-dependent
+  return sum;
+}
+
+}  // namespace baton

@@ -1,0 +1,17 @@
+// Fixture: ordered/deterministic containers pass, and a recorded-baseline
+// exception survives behind an allow() pragma with a reason (the
+// recruit-directory pattern).
+#include <map>
+#include <unordered_set>  // lint: allow(unordered-iteration) -- ablation figures were recorded against hash enumeration order
+
+namespace baton {
+
+int SumValues() {
+  std::map<int, int> dir;
+  dir[1] = 2;
+  int sum = 0;
+  for (const auto& kv : dir) sum += kv.second;
+  return sum;
+}
+
+}  // namespace baton

@@ -1,0 +1,37 @@
+"""Rejects std::unordered_map / std::unordered_set in src/.
+
+Hash-container enumeration order is implementation-defined, so any protocol
+decision, message emission or table row derived from iterating one can vary
+across standard libraries -- silently breaking the byte-identical-tables
+contract. Protocol code uses util::FlatMap64/FlatSet64 (deterministic
+insertion-conscious probing) or ordered containers instead.
+
+The one historical exception is BATON's recruit directory, whose
+lightest-leaf tie-break was *recorded against* unordered_map enumeration in
+the ablation figures; it carries an explicit allow() pragma.
+"""
+
+import re
+
+from . import grep
+
+NAME = "unordered-iteration"
+DESCRIPTION = ("bans std::unordered_{map,set} in src/ (iteration order is "
+               "implementation-defined)")
+
+_PATTERN = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b"
+                      r"|#\s*include\s*<unordered_(?:map|set)>")
+
+
+def check(tree):
+    from . import Finding
+
+    for path in tree.files():
+        if not path.startswith("src/"):
+            continue
+        for lineno, _ in grep(tree, path, _PATTERN):
+            yield Finding(
+                NAME, path, lineno,
+                "unordered container in protocol code: iteration order is "
+                "implementation-defined; use util::FlatMap64/FlatSet64 or "
+                "an ordered container")

@@ -31,6 +31,7 @@
 //   ./bench_throughput --sizes=200 --seeds=1
 //   ./bench_throughput --overlay=baton,chord --load=0.5,1.0,2.0
 //       --key-dist=uniform,zipf:0.9 --arrivals=fixed --service-ticks=4
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,6 +141,21 @@ SeedResult RunSeed(const std::string& name, size_t n, int s,
   ecfg.hop_latency = 1;
   ecfg.max_queue = opt.max_queue;
   ecfg.timeout_ticks = opt.timeout_ticks;
+  // --stragglers=K:F marks K members (picked deterministically per seed) as
+  // F-times-slower servers; the knee then tracks the slowest hot node, not
+  // the fleet average.
+  if (opt.stragglers > 0) {
+    std::vector<net::PeerId> picks = inst.members;
+    Rng srng(Mix64(seed ^ 0x57a6));
+    srng.Shuffle(&picks);
+    size_t k = std::min(opt.stragglers, picks.size());
+    uint64_t slow = static_cast<uint64_t>(
+        static_cast<double>(opt.service_ticks) * opt.straggler_factor);
+    if (slow <= opt.service_ticks) slow = opt.service_ticks + 1;
+    for (size_t i = 0; i < k; ++i) {
+      ecfg.node_service_overrides.emplace_back(picks[i], slow);
+    }
+  }
   serve::Engine engine(inst.overlay.get(), &inst.members, ecfg);
 
   SeedResult out;

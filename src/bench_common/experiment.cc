@@ -183,6 +183,15 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "                        the op (default 0 = unbounded)\n"
       "  --timeout-ticks=N     sojourns past N ticks count as timed out\n"
       "                        (default 0 = no deadline)\n"
+      "  --stragglers=K:F      mark K nodes as stragglers with F x the\n"
+      "                        global service time (serving-engine benches;\n"
+      "                        default 0 = homogeneous fleet)\n"
+      "  --drop=p1,p2,...      per-message drop probabilities to sweep\n"
+      "                        (bench_faults; default 0.01,0.05,0.10)\n"
+      "  --dup=P               per-message duplicate-delivery probability\n"
+      "                        (bench_faults; default 0)\n"
+      "  --retries=r1,r2,...   retry budgets to sweep (bench_faults;\n"
+      "                        default 0,1,3)\n"
       "  --json=PATH           mirror every table into PATH as JSON rows\n"
       "  --trace=PATH          write a Chrome trace-event JSON (open in\n"
       "                        Perfetto) of every replayed op + message\n"
@@ -265,6 +274,70 @@ std::vector<double> ParseLoads(const char* argv0, const char* arg) {
     std::exit(2);
   }
   return out;
+}
+
+/// Strict probability parse: a finite number in (0, 1].
+double ParseFlagProb(const char* argv0, const char* flag, const char* val) {
+  double v = ParseFlagPositiveDouble(argv0, flag, val);
+  if (v > 1.0) {
+    std::fprintf(stderr, "bad %s value '%s' (need a probability in (0, 1])\n",
+                 flag, val);
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<double> ParseDropRates(const char* argv0, const char* arg) {
+  std::vector<double> out;
+  for (const std::string& piece : SplitNames(arg)) {
+    out.push_back(ParseFlagProb(argv0, "--drop", piece.c_str()));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--drop needs at least one drop probability\n");
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return out;
+}
+
+std::vector<int> ParseRetryBudgets(const char* argv0, const char* arg) {
+  std::vector<int> out;
+  for (const std::string& piece : SplitNames(arg)) {
+    out.push_back(static_cast<int>(
+        ParseFlagUint(argv0, "--retries", piece.c_str(), 0, 64)));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--retries needs at least one retry budget\n");
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Parses --stragglers=K:FACTOR (K >= 0 straggler nodes, FACTOR > 1
+/// service-time multiplier) into opt.stragglers / opt.straggler_factor.
+void ParseStragglers(const char* argv0, const char* arg, Options* opt) {
+  const char* colon = std::strchr(arg, ':');
+  if (colon == nullptr) {
+    std::fprintf(stderr,
+                 "bad --stragglers value '%s' (want K:FACTOR, e.g. 4:8)\n",
+                 arg);
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
+  std::string k(arg, static_cast<size_t>(colon - arg));
+  opt->stragglers = static_cast<size_t>(
+      ParseFlagUint(argv0, "--stragglers", k.c_str(), 0));
+  opt->straggler_factor =
+      ParseFlagPositiveDouble(argv0, "--stragglers", colon + 1);
+  if (opt->straggler_factor <= 1.0) {
+    std::fprintf(stderr,
+                 "bad --stragglers factor '%s' (need a multiplier > 1)\n",
+                 colon + 1);
+    PrintUsage(stderr, argv0);
+    std::exit(2);
+  }
 }
 
 }  // namespace
@@ -487,6 +560,14 @@ Options ParseOptions(int argc, char** argv) {
     } else if (std::strncmp(a, "--timeout-ticks=", 16) == 0) {
       opt.timeout_ticks =
           ParseFlagUint(argv[0], "--timeout-ticks", a + 16, 0);
+    } else if (std::strncmp(a, "--stragglers=", 13) == 0) {
+      ParseStragglers(argv[0], a + 13, &opt);
+    } else if (std::strncmp(a, "--drop=", 7) == 0) {
+      opt.drop_rates = ParseDropRates(argv[0], a + 7);
+    } else if (std::strncmp(a, "--dup=", 6) == 0) {
+      opt.dup_rate = ParseFlagProb(argv[0], "--dup", a + 6);
+    } else if (std::strncmp(a, "--retries=", 10) == 0) {
+      opt.retry_budgets = ParseRetryBudgets(argv[0], a + 10);
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       opt.trace_path = a + 8;
       if (opt.trace_path.empty()) {

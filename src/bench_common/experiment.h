@@ -118,6 +118,23 @@ struct Options {
   /// --timeout-ticks=N: sojourns past this count as timed out (client gave
   /// up; the op still completes and is measured). 0 = no deadline.
   uint64_t timeout_ticks = 0;
+  /// --stragglers=K:FACTOR: the first K members (deterministically chosen
+  /// per seed) service messages FACTOR times slower than --service-ticks --
+  /// the heterogeneous-fleet / tail-at-scale knob of the serving benches.
+  /// K = 0 (the default) keeps the fleet homogeneous.
+  size_t stragglers = 0;
+  double straggler_factor = 8.0;
+
+  // ---- Fault-injection flags (bench_faults) ------------------------------
+  /// --drop=p1,p2,...: per-message drop probabilities to sweep (each value
+  /// becomes one fault::Plan column group).
+  std::vector<double> drop_rates = {0.01, 0.05, 0.10};
+  /// --dup=p: per-message duplicate probability applied in every faulted
+  /// cell (0 disables duplication).
+  double dup_rate = 0.0;
+  /// --retries=r1,r2,...: resilience retry budgets to sweep
+  /// (fault::Policy::max_retries per cell).
+  std::vector<int> retry_budgets = {0, 1, 3};
 
   /// Observability is wanted when either artifact path is set.
   bool obs_enabled() const {
@@ -136,7 +153,8 @@ inline constexpr int kBenchJsonSchema = 2;
 /// --sizes=a,b,c, --seed=S, --overlay=name[,name...], --threads=N,
 /// --latency=const:N|uniform:LO,HI, --key-dist=uniform|zipf:THETA[,...],
 /// --load=f1,f2,..., --arrivals=poisson|fixed, --service-ticks=N,
-/// --max-queue=N, --json=PATH, --trace=PATH, --metrics=PATH,
+/// --max-queue=N, --stragglers=K:FACTOR, --drop=p1,p2,..., --dup=P,
+/// --retries=r1,r2,..., --json=PATH, --trace=PATH, --metrics=PATH,
 /// --list-overlays (prints overlay::RegisteredNames() one per line, exits
 /// 0), --help (prints usage, exits 0). Unknown flags print the usage and
 /// exit 2; usage and the --overlay rejection message both list the

@@ -36,11 +36,29 @@ void Network::MarkAlive(PeerId p) {
 void Network::Count(PeerId from, PeerId to, MsgType type) {
   BATON_CHECK_LT(from, alive_.size());
   BATON_CHECK_LT(to, alive_.size());
+  if (faults_ == nullptr) {
+    CountOne(from, to, type, /*dropped=*/false, /*extra_delay=*/0);
+    return;
+  }
+  FaultInjector::Decision d = faults_->OnMessage(from, to, type);
+  if (d.drop) ++window_dropped_;
+  window_duplicated_ += d.duplicates;
+  CountOne(from, to, type, d.drop, d.extra_delay);
+  // Duplicate copies: the fault is extra delivery, not loss, and each copy
+  // is a real message -- counted, processed, timed.
+  for (uint32_t i = 0; i < d.duplicates; ++i) {
+    CountOne(from, to, type, /*dropped=*/false, d.extra_delay);
+  }
+}
+
+void Network::CountOne(PeerId from, PeerId to, MsgType type, bool dropped,
+                       sim::Time extra_delay) {
   ++snapshot_.total;
   ++snapshot_.by_type[static_cast<size_t>(type)];
   // A message is "processed by" its receiver; dead receivers process nothing
   // (the sender's timeout is what costs, and it was already counted above).
-  if (alive_[to]) {
+  // A dropped message likewise never reaches the receiver.
+  if (alive_[to] && !dropped) {
     ++processed_[to][static_cast<size_t>(CategoryOf(type))];
   }
   // Observability event ticks: virtual times on the sim clock when a kernel
@@ -55,17 +73,24 @@ void Network::Count(PeerId from, PeerId to, MsgType type) {
     // flight toward them, so parallel fan-out from one sender costs a
     // single latency while sequential relays accumulate.
     sim::Time departs = FrontierAt(from);
-    sim::Time arrives = departs + sim_latency_->Sample(&sim_rng_);
-    Frontier& f = frontier_[to];
-    if (f.epoch != window_epoch_ || arrives > f.at) {
-      f = Frontier{window_epoch_, arrives};
+    sim::Time arrives = departs + sim_latency_->Sample(&sim_rng_) + extra_delay;
+    if (!dropped) {
+      // A dropped message advances nothing: the receiver never becomes
+      // "available with the answer", so the loss is invisible to the
+      // latency accounting until a timeout or retry pays for it above.
+      Frontier& f = frontier_[to];
+      if (f.epoch != window_epoch_ || arrives > f.at) {
+        f = Frontier{window_epoch_, arrives};
+      }
+      horizon_ = std::max(horizon_, arrives);
     }
-    horizon_ = std::max(horizon_, arrives);
     // The delivery event: running the queue (EndOpWindow) advances the
     // virtual clock to the operation's completion time. Counts issued
     // outside any window share the clock position of the last window.
     sim::Time base = std::max(window_start_, sim_queue_->now());
-    sim_queue_->ScheduleAt(base + arrives, [this] { ++sim_delivered_; });
+    if (!dropped) {
+      sim_queue_->ScheduleAt(base + arrives, [this] { ++sim_delivered_; });
+    }
     send_tick = base + departs;
     deliver_tick = base + arrives;
   }
@@ -89,6 +114,10 @@ void Network::AttachSim(sim::EventQueue* queue, sim::LatencyModel* latency,
 }
 
 void Network::BeginOpWindow() {
+  if (faults_ != nullptr) {
+    window_dropped_ = 0;
+    window_duplicated_ = 0;
+  }
   if (sim_queue_ == nullptr) return;
   ++window_epoch_;
   window_start_ = sim_queue_->now();

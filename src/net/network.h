@@ -55,6 +55,38 @@ class MessageObserver {
                          uint64_t send_tick, uint64_t deliver_tick) = 0;
 };
 
+/// Fault-injection hook: consulted once per counted message, before any
+/// delivery bookkeeping. Implemented by fault::Plan; net/ only sees this
+/// interface so the layering stays net <- fault <- overlay. With no
+/// injector attached (the default, see AttachFaults) the counting path
+/// pays one null check and behaviour is byte-identical to a build without
+/// fault support.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// What the network does to one message.
+  struct Decision {
+    /// Lost in transit: the message is still paid for by the sender (it
+    /// occupies the wire), but the receiver never processes it and its
+    /// arrival advances no availability frontier.
+    bool drop = false;
+    /// Extra identical copies delivered -- each is a real message: counted,
+    /// processed by the receiver, timed.
+    uint32_t duplicates = 0;
+    /// Added to the link's sampled latency (gray failure / congestion).
+    /// Only observable with a sim/ kernel attached.
+    sim::Time extra_delay = 0;
+  };
+  virtual Decision OnMessage(PeerId from, PeerId to, MsgType type) = 0;
+
+  /// Advances the injector's deterministic operation clock. Fault windows
+  /// (stalls, correlated outages) are scheduled in operations, not wall
+  /// time, so they work without a sim attachment; the overlay measured
+  /// wrapper calls this exactly once per public operation (not per retry).
+  virtual void OnOpBegin() = 0;
+};
+
 /// Cheap value snapshot of the counters; diff two snapshots to get the cost
 /// of one operation.
 struct CounterSnapshot {
@@ -154,6 +186,32 @@ class Network {
     return sim_queue_ != nullptr ? sim_queue_->now() : snapshot_.total;
   }
 
+  // ---- Fault injection (fault/ attachment) ---------------------------------
+  /// Attaches a fault injector: every subsequent Count() first asks `f`
+  /// whether the message is dropped, duplicated, or delayed. Non-owning;
+  /// pass nullptr to detach. Opt-in like AttachSim/AttachObserver: detached
+  /// (the default) the counting path is one null check and all output is
+  /// byte-identical to a build without fault support.
+  void AttachFaults(FaultInjector* f) {
+    faults_ = f;
+    window_dropped_ = 0;
+    window_duplicated_ = 0;
+  }
+  FaultInjector* faults() const { return faults_; }
+
+  /// Ticks the attached injector's op clock (no-op when detached). The
+  /// overlay measured wrapper calls this once per public operation so
+  /// windowed faults advance even across retries.
+  void FaultOpTick() {
+    if (faults_ != nullptr) faults_->OnOpBegin();
+  }
+
+  /// Messages dropped / duplicated since the last BeginOpWindow. Always 0
+  /// with no injector attached; the overlay resilience policy reads these
+  /// per attempt to decide whether an operation's answer can be trusted.
+  uint64_t window_dropped() const { return window_dropped_; }
+  uint64_t window_duplicated() const { return window_duplicated_; }
+
   // ---- Deferred updates (network dynamics, Fig. 8(i)) ----------------------
   /// While deferring, Apply() queues the closure instead of running it.
   /// This models "it takes some time for the network to update knowledge of
@@ -191,6 +249,17 @@ class Network {
   std::deque<std::function<void()>> deferred_;
 
   MessageObserver* observer_ = nullptr;
+
+  // ---- fault attachment state ----
+  /// Counts one message (plus bookkeeping) with an already-made fault
+  /// decision; Count() splits delivery from decision so duplicate copies
+  /// reuse the same path.
+  void CountOne(PeerId from, PeerId to, MsgType type, bool dropped,
+                sim::Time extra_delay);
+
+  FaultInjector* faults_ = nullptr;
+  uint64_t window_dropped_ = 0;
+  uint64_t window_duplicated_ = 0;
 
   // ---- sim attachment state ----
   /// "Message available at" frontier entry: the virtual time (relative to

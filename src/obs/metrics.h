@@ -13,6 +13,14 @@
 //                             routing_touch, restructure, replica_msgs)
 //   op.<name>.count|ok        per-operation counters (exact, range, join...)
 //   op.<name>.hops|messages|latency_ticks   per-operation histograms
+//   serve.*                   serving-engine outcomes (ops_admitted,
+//                             sojourn_ticks, node.served, ...)
+//   fault.*                   degraded-service accounting under fault
+//                             injection: dropped_msgs, duplicated_msgs,
+//                             retries, timeouts, gave_up, degraded --
+//                             written by the overlay resilience wrapper
+//                             and the serving engine (shared constant
+//                             names in fault/fault.h)
 //
 // Accessors return references that stay valid for the registry's lifetime
 // (node-based maps), so hot paths cache them once and update through the

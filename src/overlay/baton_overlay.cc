@@ -20,6 +20,20 @@ uint32_t BatonOverlay::capabilities() const {
   return caps;
 }
 
+PeerId BatonOverlay::RetryOrigin(PeerId origin, int attempt) const {
+  if (!baton_->InOverlay(origin)) return origin;
+  const BatonNode& n = baton_->node(origin);
+  PeerId cand[3];
+  int cnt = 0;
+  for (const NodeRef* r : {&n.left_adj, &n.right_adj, &n.parent}) {
+    if (r->valid() && baton_->InOverlay(r->peer) && net_.IsAlive(r->peer)) {
+      cand[cnt++] = r->peer;
+    }
+  }
+  if (cnt == 0) return origin;
+  return cand[(attempt - 1) % cnt];
+}
+
 PeerId BatonOverlay::DoBootstrap() { return baton_->Bootstrap(); }
 
 void BatonOverlay::DoJoin(PeerId contact, OpStats* st) {

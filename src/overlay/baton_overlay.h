@@ -25,6 +25,11 @@ class BatonOverlay : public Overlay {
   void CheckInvariants() const override { baton_->CheckInvariants(); }
   uint64_t build_salt() const override { return 0xba70; }
 
+  /// Stale-route fallback: cycle through the origin's adjacent links (the
+  /// paper's repair paths re-derive structure from in-order adjacency),
+  /// then its parent.
+  PeerId RetryOrigin(PeerId origin, int attempt) const override;
+
   /// The wrapped backend, for BATON-specific introspection (tree positions,
   /// shift-size histogram, load-balance and durability counters).
   BatonNetwork& baton() { return *baton_; }

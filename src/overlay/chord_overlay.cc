@@ -13,6 +13,21 @@ const std::string& ChordOverlay::name() const {
   return kName;
 }
 
+PeerId ChordOverlay::RetryOrigin(PeerId origin, int attempt) const {
+  const chord::ChordNode& n = ring_->node(origin);
+  if (!n.in_ring) return origin;
+  PeerId cand[2];
+  int cnt = 0;
+  for (PeerId p : {n.successor, n.predecessor}) {
+    if (p != kNullPeer && p != origin && ring_->node(p).in_ring &&
+        net_.IsAlive(p)) {
+      cand[cnt++] = p;
+    }
+  }
+  if (cnt == 0) return origin;
+  return cand[(attempt - 1) % cnt];
+}
+
 PeerId ChordOverlay::DoBootstrap() { return ring_->Bootstrap(); }
 
 void ChordOverlay::DoJoin(PeerId contact, OpStats* st) {

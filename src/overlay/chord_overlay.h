@@ -29,6 +29,10 @@ class ChordOverlay : public Overlay {
   void CheckInvariants() const override { ring_->CheckInvariants(); }
   uint64_t build_salt() const override { return 0xc08d; }
 
+  /// Stale-route fallback: alternate between the origin's successor and
+  /// predecessor ring links.
+  PeerId RetryOrigin(PeerId origin, int attempt) const override;
+
   chord::ChordNetwork& chord() { return *ring_; }
   const chord::ChordNetwork& chord() const { return *ring_; }
 

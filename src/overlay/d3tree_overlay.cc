@@ -17,6 +17,20 @@ const std::string& D3TreeOverlay::name() const {
   return kName;
 }
 
+PeerId D3TreeOverlay::RetryOrigin(PeerId origin, int attempt) const {
+  const d3tree::D3Node& n = tree_->node(origin);
+  if (!n.in_overlay) return origin;
+  PeerId cand[2];
+  int cnt = 0;
+  for (PeerId p : {n.left_adj, n.right_adj}) {
+    if (p != kNullPeer && tree_->node(p).in_overlay && net_.IsAlive(p)) {
+      cand[cnt++] = p;
+    }
+  }
+  if (cnt == 0) return origin;
+  return cand[(attempt - 1) % cnt];
+}
+
 PeerId D3TreeOverlay::DoBootstrap() { return tree_->Bootstrap(); }
 
 void D3TreeOverlay::DoJoin(PeerId contact, OpStats* st) {

@@ -33,6 +33,11 @@ class D3TreeOverlay : public Overlay {
 
   /// The wrapped backend, for D3-specific introspection (bucket bounds,
   /// backbone shape, rebuild counters).
+  /// Stale-route fallback: alternate between the origin's in-order
+  /// adjacent peers (all long-distance state lives on the backbone, so
+  /// adjacency is the only per-peer link to fall back on).
+  PeerId RetryOrigin(PeerId origin, int attempt) const override;
+
   d3tree::D3TreeNetwork& d3tree() { return *tree_; }
   const d3tree::D3TreeNetwork& d3tree() const { return *tree_; }
 

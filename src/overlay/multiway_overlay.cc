@@ -14,6 +14,20 @@ const std::string& MultiwayOverlay::name() const {
   return kName;
 }
 
+PeerId MultiwayOverlay::RetryOrigin(PeerId origin, int attempt) const {
+  const multiway::MultiwayNode& n = tree_->node(origin);
+  if (!n.in_overlay) return origin;
+  PeerId cand[3];
+  int cnt = 0;
+  for (PeerId p : {n.left_nb, n.right_nb, n.parent}) {
+    if (p != kNullPeer && tree_->node(p).in_overlay && net_.IsAlive(p)) {
+      cand[cnt++] = p;
+    }
+  }
+  if (cnt == 0) return origin;
+  return cand[(attempt - 1) % cnt];
+}
+
 PeerId MultiwayOverlay::DoBootstrap() { return tree_->Bootstrap(); }
 
 void MultiwayOverlay::DoJoin(PeerId contact, OpStats* st) {

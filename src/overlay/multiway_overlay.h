@@ -30,6 +30,10 @@ class MultiwayOverlay : public Overlay {
   void CheckInvariants() const override { tree_->CheckInvariants(); }
   uint64_t build_salt() const override { return 0x3712; }
 
+  /// Stale-route fallback: cycle through the origin's range-adjacent
+  /// neighbours, then its parent.
+  PeerId RetryOrigin(PeerId origin, int attempt) const override;
+
   multiway::MultiwayNetwork& multiway() { return *tree_; }
   const multiway::MultiwayNetwork& multiway() const { return *tree_; }
 

@@ -3,32 +3,109 @@
 namespace baton {
 namespace overlay {
 
-namespace {
-
-/// Runs `fn(&st)` with counter snapshots and a sim measurement window
-/// around it, so st.messages is the exact message cost of the operation and
-/// st.latency_ticks its simulated critical-path time (0 with no latency
-/// model attached), whatever the backend did inside. With an observer
-/// attached the whole operation is additionally bracketed as one causal
-/// span named `op`, and its outcome feeds the per-op metrics.
+/// Runs `fn(origin, &st)` with counter snapshots and a sim measurement
+/// window around it, so st.messages is the exact message cost of the
+/// operation and st.latency_ticks its simulated critical-path time (0 with
+/// no latency model attached), whatever the backend did inside. With an
+/// observer attached the whole operation is additionally bracketed as one
+/// causal span named `op`, and its outcome feeds the per-op metrics. With
+/// a fault plan attached the body runs under the resilience policy
+/// (RunResilient); detached, this is the historical single-attempt wrapper
+/// plus two null checks.
 template <typename Fn>
-OpStats Measured(net::Network* net, obs::Observer* obs, const char* op,
-                 Fn&& fn) {
+OpStats Overlay::Measured(const char* op, PeerId origin, bool retryable,
+                          Fn&& fn) {
+  net::Network* net = network();
   OpStats st;
   net::CounterSnapshot before = net->Snapshot();
-  if (obs != nullptr) obs->BeginOp(op, net->ObsClock());
-  net->BeginOpWindow();
-  fn(&st);
-  st.latency_ticks = net->EndOpWindow();
+  if (obs_ != nullptr) obs_->BeginOp(op, net->ObsClock());
+  net->FaultOpTick();
+  if (net->faults() == nullptr) {
+    net->BeginOpWindow();
+    fn(origin, &st);
+    st.latency_ticks = net->EndOpWindow();
+  } else {
+    RunResilient(net, origin, retryable, fn, &st);
+  }
   st.messages = net::Network::Delta(before, net->Snapshot());
-  if (obs != nullptr) {
-    obs->EndOp(op, net->ObsClock(),
-               {st.ok(), st.peer, st.hops, st.messages, st.latency_ticks});
+  if (obs_ != nullptr) {
+    obs_->EndOp(op, net->ObsClock(),
+                {st.ok(), st.peer, st.hops, st.messages, st.latency_ticks});
+    if (net->faults() != nullptr) {
+      obs::Registry& reg = obs_->metrics();
+      if (st.dropped_msgs > 0) {
+        reg.Counter(fault::kMetricDrops) += st.dropped_msgs;
+      }
+      if (st.retries > 0) {
+        reg.Counter(fault::kMetricRetries) +=
+            static_cast<uint64_t>(st.retries);
+      }
+      if (st.timeouts > 0) {
+        reg.Counter(fault::kMetricTimeouts) +=
+            static_cast<uint64_t>(st.timeouts);
+      }
+      if (st.gave_up) ++reg.Counter(fault::kMetricGaveUp);
+      if (st.degraded) ++reg.Counter(fault::kMetricDegraded);
+    }
   }
   return st;
 }
 
-}  // namespace
+/// One resilience-policy run: attempts until the answer is trustworthy
+/// (no message of the attempt was dropped, and it beat the timeout) or the
+/// retry budget runs out. Mutating operations (`retryable == false`) take
+/// exactly one attempt and report absorbed faults as degraded service --
+/// re-issuing a join or insert could double-apply state, and the protocols
+/// repair damage through their own recovery paths instead.
+template <typename Fn>
+void Overlay::RunResilient(net::Network* net, PeerId origin, bool retryable,
+                           Fn&& fn, OpStats* st) {
+  const fault::Policy& pol = resilience_;
+  const int attempts = 1 + (retryable ? pol.max_retries : 0);
+  uint64_t total_latency = 0;
+  uint64_t dup_msgs = 0;
+  PeerId from = origin;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++st->retries;
+      total_latency += pol.BackoffFor(attempt);
+      if (pol.reroute && origin != kNullPeer) {
+        from = RetryOrigin(origin, attempt);
+      }
+    }
+    OpStats att;
+    net->BeginOpWindow();
+    fn(from, &att);
+    att.latency_ticks = net->EndOpWindow();
+    total_latency += att.latency_ticks;
+    uint64_t drops = net->window_dropped();
+    dup_msgs += net->window_duplicated();
+    st->dropped_msgs += drops;
+    // An attempt that lost any message cannot prove its answer reached
+    // anyone (the loss may have been the reply); one that overran the
+    // timeout is discarded by the impatient caller. Either way: retry.
+    bool lost = retryable && drops > 0;
+    bool late = retryable && pol.timeout_ticks > 0 &&
+                att.latency_ticks > pol.timeout_ticks;
+    if (late) ++st->timeouts;
+    if (!lost && !late) {
+      st->status = att.status;
+      st->peer = att.peer;
+      st->found = att.found;
+      st->matches = att.matches;
+      st->nodes = att.nodes;
+      st->hops = att.hops;
+      st->latency_ticks = total_latency;
+      st->degraded = st->retries > 0 || st->dropped_msgs > 0 || dup_msgs > 0;
+      return;
+    }
+  }
+  st->gave_up = true;
+  st->degraded = true;
+  st->latency_ticks = total_latency;
+  st->status = Status::Unavailable(
+      "retry budget exhausted under fault injection");
+}
 
 std::string CapabilitiesToString(uint32_t caps) {
   static constexpr struct {
@@ -50,44 +127,49 @@ std::string CapabilitiesToString(uint32_t caps) {
 
 PeerId Overlay::Bootstrap() { return DoBootstrap(); }
 
+PeerId Overlay::RetryOrigin(PeerId origin, int attempt) const {
+  (void)attempt;
+  return origin;
+}
+
 OpStats Overlay::Join(PeerId contact) {
-  return Measured(network(), observer(), "join",
-                  [&](OpStats* st) { DoJoin(contact, st); });
+  return Measured("join", contact, /*retryable=*/false,
+                  [&](PeerId c, OpStats* st) { DoJoin(c, st); });
 }
 
 OpStats Overlay::Leave(PeerId leaver) {
-  return Measured(network(), observer(), "leave",
-                  [&](OpStats* st) { DoLeave(leaver, st); });
+  return Measured("leave", kNullPeer, /*retryable=*/false,
+                  [&](PeerId, OpStats* st) { DoLeave(leaver, st); });
 }
 
 OpStats Overlay::Fail(PeerId victim) {
-  return Measured(network(), observer(), "fail",
-                  [&](OpStats* st) { DoFail(victim, st); });
+  return Measured("fail", kNullPeer, /*retryable=*/false,
+                  [&](PeerId, OpStats* st) { DoFail(victim, st); });
 }
 
 OpStats Overlay::RecoverAllFailures() {
-  return Measured(network(), observer(), "recover",
-                  [&](OpStats* st) { DoRecoverAllFailures(st); });
+  return Measured("recover", kNullPeer, /*retryable=*/false,
+                  [&](PeerId, OpStats* st) { DoRecoverAllFailures(st); });
 }
 
 OpStats Overlay::Insert(PeerId from, Key key) {
-  return Measured(network(), observer(), "insert",
-                  [&](OpStats* st) { DoInsert(from, key, st); });
+  return Measured("insert", from, /*retryable=*/false,
+                  [&](PeerId f, OpStats* st) { DoInsert(f, key, st); });
 }
 
 OpStats Overlay::Delete(PeerId from, Key key) {
-  return Measured(network(), observer(), "delete",
-                  [&](OpStats* st) { DoDelete(from, key, st); });
+  return Measured("delete", from, /*retryable=*/false,
+                  [&](PeerId f, OpStats* st) { DoDelete(f, key, st); });
 }
 
 OpStats Overlay::ExactSearch(PeerId from, Key key) {
-  return Measured(network(), observer(), "exact",
-                  [&](OpStats* st) { DoExactSearch(from, key, st); });
+  return Measured("exact", from, /*retryable=*/true,
+                  [&](PeerId f, OpStats* st) { DoExactSearch(f, key, st); });
 }
 
 OpStats Overlay::RangeSearch(PeerId from, Key lo, Key hi) {
-  return Measured(network(), observer(), "range",
-                  [&](OpStats* st) { DoRangeSearch(from, lo, hi, st); });
+  return Measured("range", from, /*retryable=*/true,
+                  [&](PeerId f, OpStats* st) { DoRangeSearch(f, lo, hi, st); });
 }
 
 void Overlay::DoFail(PeerId victim, OpStats* st) {

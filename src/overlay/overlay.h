@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "baton/types.h"
+#include "fault/fault.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "util/status.h"
@@ -73,8 +74,23 @@ struct [[nodiscard]] OpStats {
   uint64_t messages = 0;  // total message delta for the whole operation
   /// Simulated wall-clock cost of the operation in ticks: sequential hops
   /// add, parallel fan-out takes the max over branches. Always 0 when no
-  /// latency model is attached.
+  /// latency model is attached. Under a fault plan this spans every
+  /// attempt, backoff included.
   uint64_t latency_ticks = 0;
+
+  // ---- Resilience outcome (fault injection). All zero/false when no
+  // fault plan is attached (see Overlay::AttachFaults). --------------------
+  int retries = 0;    // extra attempts the resilience policy ran
+  int timeouts = 0;   // attempts discarded for overrunning the hop budget
+  /// The retry budget ran out with every attempt still losing messages or
+  /// timing out; status is Unavailable and the answer fields are unset.
+  bool gave_up = false;
+  /// The operation completed, but only by absorbing faults: it lost or
+  /// duplicated messages, or needed retries. Mutating ops that lost
+  /// messages report degraded service instead of failing (the protocols'
+  /// own recovery paths repair state).
+  bool degraded = false;
+  uint64_t dropped_msgs = 0;  // messages lost across all attempts
 
   bool ok() const { return status.ok(); }
 };
@@ -124,6 +140,30 @@ class Overlay {
     network()->AttachObserver(obs);
   }
   obs::Observer* observer() const { return obs_; }
+
+  /// Attaches a fault-injection plan to the backend's network (same
+  /// lifecycle contract as the sim and obs attachments: per instance,
+  /// opt-in, non-owning, nullptr detaches). While attached, the measured
+  /// wrapper runs read operations under the resilience() policy -- per-
+  /// attempt loss/timeout detection, bounded retry with deterministic
+  /// backoff, RetryOrigin rerouting -- and fills the OpStats resilience
+  /// fields; with an observer also attached, fault.* metrics accumulate in
+  /// its registry. Detached (the default) every hot path pays one null
+  /// check and output is byte-identical to a fault-free build.
+  void AttachFaults(net::FaultInjector* f) { network()->AttachFaults(f); }
+
+  /// Resilience budget applied while a fault plan is attached. The default
+  /// policy (no retries, no timeout) makes every message loss in a read
+  /// operation fatal to it -- the honest baseline benches compare against.
+  void SetResilience(const fault::Policy& p) { resilience_ = p; }
+  const fault::Policy& resilience() const { return resilience_; }
+
+  /// Fallback origin for retry `attempt` (1-based) of a read operation
+  /// that started at `origin`: backends override this to re-resolve via
+  /// the stale route's neighbours (parent / adjacent / successor links),
+  /// cycling deterministically through the candidates. The base returns
+  /// `origin` (retry in place). Must return a current member.
+  virtual PeerId RetryOrigin(PeerId origin, int attempt) const;
 
   // ---- Membership ----------------------------------------------------------
   /// Creates the first node. Must be called exactly once, before any Join.
@@ -176,7 +216,20 @@ class Overlay {
   Status Unsupported(const char* op) const;
 
  private:
+  /// The measured wrapper: counter snapshots, sim window, obs span, fault
+  /// op tick, and -- with a fault plan attached -- the resilience loop.
+  /// `retryable` marks read operations (safe to re-issue); `origin` is the
+  /// peer the operation starts from (kNullPeer for membership repair ops
+  /// with no caller-chosen origin).
+  template <typename Fn>
+  OpStats Measured(const char* op, PeerId origin, bool retryable, Fn&& fn);
+  /// The fault-path body of Measured: one attempt per loop iteration.
+  template <typename Fn>
+  void RunResilient(net::Network* net, PeerId origin, bool retryable,
+                    Fn&& fn, OpStats* st);
+
   obs::Observer* obs_ = nullptr;
+  fault::Policy resilience_;
 };
 
 }  // namespace overlay

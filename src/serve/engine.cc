@@ -3,6 +3,7 @@
 #include <functional>
 #include <utility>
 
+#include "fault/fault.h"
 #include "net/trail.h"
 #include "util/check.h"
 
@@ -109,6 +110,9 @@ EngineResult Engine::RunInternal(const workload::Trace& trace,
   st.op_rng = op_rng;
   st.closed_loop = closed_loop;
   st.nodes = NodeModel(cfg_.service_ticks);
+  for (const auto& [node, ticks] : cfg_.node_service_overrides) {
+    st.nodes.SetNodeServiceTicks(node, ticks);
+  }
   st.ops.resize(trace.size());
 
   // Capture every message the overlay sends during an admission, chaining
@@ -224,6 +228,13 @@ EngineResult Engine::RunInternal(const workload::Trace& trace,
     reg.Counter("serve.ops_completed") += st.res.completed;
     reg.Counter("serve.ops_dropped") += st.res.dropped;
     reg.Counter("serve.ops_timed_out") += st.res.timed_out;
+    // Unified degraded-service accounting: client give-ups land in the
+    // same fault.* namespace the overlay resilience wrapper writes, so
+    // "how often did users see degraded service" is one query no matter
+    // which layer absorbed the fault.
+    if (st.res.timed_out > 0) {
+      reg.Counter(fault::kMetricTimeouts) += st.res.timed_out;
+    }
     reg.Counter("serve.msgs_serviced") += st.nodes.total_served();
     reg.Counter("serve.service_ticks") += st.res.total_service_ticks;
     reg.Gauge("serve.makespan_ticks") = static_cast<int64_t>(st.res.makespan);

@@ -50,6 +50,7 @@
 #define BATON_SERVE_ENGINE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "obs/log_histogram.h"
@@ -79,6 +80,11 @@ struct EngineConfig {
   /// Replay semantics shared with workload::Replay (min_members guard,
   /// failure recovery, answer recording).
   workload::ReplayOptions replay;
+  /// Per-node service-rate overrides (node id -> occupancy ticks), applied
+  /// to every run's NodeModel: a heterogeneous fleet where the listed
+  /// nodes are slower (stragglers) or faster than cfg.service_ticks. See
+  /// NodeModel::SetNodeServiceTicks.
+  std::vector<std::pair<uint32_t, uint64_t>> node_service_overrides;
 };
 
 struct EngineResult {

@@ -53,6 +53,20 @@ class NodeModel {
   /// messages are still unserviced at the node.
   Admission Admit(uint32_t node, sim::Time t, uint64_t max_queue);
 
+  /// Overrides one node's per-message occupancy (heterogeneous fleets:
+  /// stragglers, slow racks, gray-failing peers). 0 restores the global
+  /// rate. Backlog and busy-tick accounting use the node's own rate, so a
+  /// straggler's queue grows while equally-loaded fast peers stay idle --
+  /// the tail-at-scale effect the serving papers measure.
+  void SetNodeServiceTicks(uint32_t node, uint64_t ticks);
+  /// The occupancy `node` charges per message (the global rate unless
+  /// overridden).
+  uint64_t node_service_ticks(uint32_t node) const {
+    return node < overrides_.size() && overrides_[node] != 0
+               ? overrides_[node]
+               : service_ticks_;
+  }
+
   uint64_t service_ticks() const { return service_ticks_; }
   /// Messages serviced by `node` so far (0 for never-touched nodes).
   uint64_t served(uint32_t node) const {
@@ -83,6 +97,7 @@ class NodeModel {
   };
 
   uint64_t service_ticks_;
+  std::vector<uint64_t> overrides_;  // per-node rate; 0 = global rate
   std::vector<Node> nodes_;
   uint64_t max_served_ = 0;
   uint64_t max_peak_depth_ = 0;

@@ -15,6 +15,11 @@ void OpAggregate::Accumulate(const overlay::OpStats& st) {
   uint64_t h = st.hops > 0 ? static_cast<uint64_t>(st.hops) : 0;
   hops += h;
   latency += st.latency_ticks;
+  retries += static_cast<uint64_t>(st.retries > 0 ? st.retries : 0);
+  timeouts += static_cast<uint64_t>(st.timeouts > 0 ? st.timeouts : 0);
+  if (st.gave_up) ++gave_up;
+  if (st.degraded) ++degraded;
+  dropped_msgs += st.dropped_msgs;
   hops_hist.Add(h);
   messages_hist.Add(st.messages);
   latency_hist.Add(st.latency_ticks);
@@ -29,6 +34,11 @@ void OpAggregate::Merge(const OpAggregate& other) {
   messages += other.messages;
   hops += other.hops;
   latency += other.latency;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  gave_up += other.gave_up;
+  degraded += other.degraded;
+  dropped_msgs += other.dropped_msgs;
   hops_hist.Merge(other.hops_hist);
   messages_hist.Merge(other.messages_hist);
   latency_hist.Merge(other.latency_hist);
@@ -77,6 +87,54 @@ AppliedOp ApplyOp(overlay::Overlay& ov, const Op& op, Rng* rng,
       }
       if (out.stats.ok()) {
         members->erase(members->begin() + static_cast<long>(idx));
+      }
+      break;
+    }
+    case OpType::kFailRegion: {
+      size_t width = static_cast<size_t>(op.key_hi);
+      if (width == 0) width = 1;
+      if (members->size() <= opts.min_members + width) {
+        out.disposition = AppliedOp::Disposition::kSkipped;
+        break;
+      }
+      if (!ov.Supports(overlay::kFailRecovery)) {
+        out.disposition = AppliedOp::Disposition::kUnsupported;
+        break;
+      }
+      // The drawn index anchors the outage in the backend's canonical
+      // key-space order (not join order): `width` *consecutive* members
+      // fail together, modelling one region / subtree extent going dark,
+      // then recovery runs once over the whole burst.
+      std::vector<net::PeerId> canon = ov.Members();
+      BATON_CHECK_EQ(canon.size(), members->size());
+      std::vector<net::PeerId> victims;
+      victims.reserve(width);
+      for (size_t j = 0; j < width; ++j) {
+        victims.push_back(canon[(idx + j) % canon.size()]);
+      }
+      for (net::PeerId v : victims) {
+        overlay::OpStats f = ov.Fail(v);
+        BATON_CHECK(f.ok()) << f.status.ToString();
+        out.stats.messages += f.messages;
+        out.stats.latency_ticks += f.latency_ticks;
+        out.stats.dropped_msgs += f.dropped_msgs;
+        out.stats.degraded = out.stats.degraded || f.degraded;
+      }
+      if (opts.recover_failures) {
+        overlay::OpStats rec = ov.RecoverAllFailures();
+        BATON_CHECK(rec.ok()) << rec.status.ToString();
+        out.stats.messages += rec.messages;
+        out.stats.latency_ticks += rec.latency_ticks;
+        out.stats.dropped_msgs += rec.dropped_msgs;
+        out.stats.degraded = out.stats.degraded || rec.degraded;
+      }
+      for (net::PeerId v : victims) {
+        for (size_t m = 0; m < members->size(); ++m) {
+          if ((*members)[m] == v) {
+            members->erase(members->begin() + static_cast<long>(m));
+            break;
+          }
+        }
       }
       break;
     }

@@ -47,6 +47,13 @@ struct OpAggregate {
   uint64_t hops = 0;         // total OpStats::hops (negative hops clamp to 0)
   uint64_t latency = 0;      // total OpStats::latency_ticks
 
+  // Resilience outcomes (all zero without a fault plan attached).
+  uint64_t retries = 0;       // total OpStats::retries
+  uint64_t timeouts = 0;      // total OpStats::timeouts
+  uint64_t gave_up = 0;       // ops that exhausted the retry budget
+  uint64_t degraded = 0;      // ops that completed by absorbing faults
+  uint64_t dropped_msgs = 0;  // total messages lost across ops
+
   /// Full distributions behind the totals (one sample per executed op), so
   /// replays report tail behaviour -- p50/p90/p99 -- not just means.
   /// Log-bucketed and mergeable across seeds/tasks; empty for an OpType the

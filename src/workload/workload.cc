@@ -70,5 +70,32 @@ std::vector<Op> MakeChurnTrace(Rng* rng, KeyGenerator* gen,
   return trace;
 }
 
+std::vector<Op> MakeCorrelatedFailTrace(Rng* rng, KeyGenerator* gen,
+                                        const CorrelatedFailMix& mix) {
+  BATON_CHECK_GT(mix.burst_width, 0u);
+  std::vector<Op> trace;
+  trace.reserve(mix.bursts + mix.joins + mix.inserts + mix.exacts +
+                mix.ranges);
+  for (size_t i = 0; i < mix.bursts; ++i) {
+    trace.push_back(
+        Op{OpType::kFailRegion, 0, static_cast<Key>(mix.burst_width)});
+  }
+  for (size_t i = 0; i < mix.joins; ++i) {
+    trace.push_back(Op{OpType::kJoin, 0, 0});
+  }
+  for (size_t i = 0; i < mix.inserts; ++i) {
+    trace.push_back(Op{OpType::kInsert, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < mix.exacts; ++i) {
+    trace.push_back(Op{OpType::kExact, gen->Next(rng), 0});
+  }
+  for (size_t i = 0; i < mix.ranges; ++i) {
+    Key lo = gen->Next(rng);
+    trace.push_back(Op{OpType::kRange, lo, lo + mix.range_width});
+  }
+  rng->Shuffle(&trace);
+  return trace;
+}
+
 }  // namespace workload
 }  // namespace baton

@@ -58,6 +58,11 @@ enum class OpType : uint8_t {
   kJoin,
   kLeave,
   kFail,  // abrupt failure of a random peer (churn traces)
+  /// Correlated region outage: `key_hi` consecutive members (canonical
+  /// key-space order, anchored at a random member) fail *together* before
+  /// recovery runs once -- a subtree / rack going dark, not independent
+  /// churn. Requires kFailRecovery.
+  kFailRegion,
   kNumOpTypes,  // sentinel
 };
 
@@ -93,6 +98,28 @@ struct ChurnMix {
 /// carry key == 0; the driver picks the affected peer.
 std::vector<Op> MakeChurnTrace(Rng* rng, KeyGenerator* gen,
                                const ChurnMix& mix);
+
+/// Operation mix for a correlated-failure trace: like ChurnMix, but the
+/// failure events are whole-region outages (kFailRegion) instead of
+/// independent single-node crashes -- the scenario ROADMAP item 4 calls
+/// "whole subtrees at once, like region outages", and the fault plans'
+/// AddOutage windows made measurable at the membership level.
+struct CorrelatedFailMix {
+  size_t bursts = 0;       // correlated outage events
+  size_t burst_width = 4;  // consecutive canonical-order members per event
+  size_t joins = 0;
+  size_t inserts = 0;
+  size_t exacts = 0;
+  size_t ranges = 0;  // range queries of width range_width
+  Key range_width = 0;
+};
+
+/// Builds a shuffled correlated-failure trace (Fig 8-style churn where
+/// failures arrive in spatially-correlated bursts). Replayable like any
+/// other trace; backends without kFailRecovery count the bursts as
+/// unsupported, exactly like kFail.
+std::vector<Op> MakeCorrelatedFailTrace(Rng* rng, KeyGenerator* gen,
+                                        const CorrelatedFailMix& mix);
 
 }  // namespace workload
 }  // namespace baton

@@ -91,6 +91,7 @@ from . import io_discipline      # noqa: E402
 from . import message_categories  # noqa: E402
 from . import include_layering   # noqa: E402
 from . import no_const_cast      # noqa: E402
+from . import check_side_effects  # noqa: E402
 
 ALL_RULES = [
     nondeterminism,
@@ -99,4 +100,5 @@ ALL_RULES = [
     message_categories,
     include_layering,
     no_const_cast,
+    check_side_effects,
 ]

@@ -1,0 +1,99 @@
+"""Audits BATON_DCHECK / assert arguments for side effects.
+
+BATON_DCHECK and assert compile to nothing under NDEBUG: an argument that
+mutates state -- BATON_DCHECK(queue.Pop(&x)), assert(++cursor < n) -- runs
+in debug builds and silently vanishes in release, so the two build modes
+execute different programs. That is both a correctness bug and a
+determinism bug (the repo's byte-identity contract spans build modes).
+Checks whose outcome the program depends on belong in BATON_CHECK, which
+always evaluates.
+
+The rule extracts each macro's balanced-paren argument from the masked
+code (comments/strings blanked, so prose never trips it) and flags
+increments, decrements, assignments, and calls to functions outside a
+whitelist of known-pure accessors (size, empty, ok, valid, ...). Calls to
+anything else -- including project functions the rule cannot see into --
+are flagged conservatively: a pure helper can be suppressed with the
+allow() pragma, while a hidden Pop() cannot hide.
+"""
+
+import re
+
+NAME = "check-side-effects"
+DESCRIPTION = "flags BATON_DCHECK/assert arguments with side effects"
+
+_MACRO_RE = re.compile(r"\b(BATON_DCHECK|assert)\s*\(")
+
+# ++ / -- anywhere in the argument.
+_INCDEC_RE = re.compile(r"\+\+|--")
+
+# Assignment: compound ops, or a bare `=` that is not part of a comparison
+# (==, !=, <=, >=) or lambda capture default.
+_COMPOUND_RE = re.compile(r"(?:[+\-*/%&|^]|<<|>>)=")
+_BARE_ASSIGN_RE = re.compile(r"(?<![=!<>+\-*/%&|^])=(?!=)")
+
+# Known-pure accessor / query names whose calls are allowed inside a
+# debug-only check. Everything else is treated as potentially mutating.
+_PURE_CALLS = frozenset([
+    "ok", "size", "empty", "count", "has_value", "valid", "front", "back",
+    "begin", "end", "find", "contains", "min", "max", "abs", "get", "value",
+    "name", "capacity", "length", "data", "c_str", "first", "second",
+    "is_open", "good", "has", "at", "top", "IsAlive", "InOverlay",
+    "Supports", "Members", "Contains", "ToString",
+])
+
+_CALL_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+
+
+def _argument(code, open_paren):
+    """Returns (argument-text, ok) for the balanced-paren span starting at
+    code[open_paren] == '('; ok is False when the file ends unbalanced."""
+    depth = 0
+    for i in range(open_paren, len(code)):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren + 1:i], True
+    return "", False
+
+
+def _side_effect(arg):
+    """Describes the first side effect found in a check argument, or None."""
+    if _INCDEC_RE.search(arg):
+        return "increments/decrements its operand"
+    if _COMPOUND_RE.search(arg) or _BARE_ASSIGN_RE.search(arg):
+        return "assigns to its operand"
+    for m in _CALL_RE.finditer(arg):
+        callee = m.group(1)
+        if callee in _PURE_CALLS or callee == "sizeof":
+            continue
+        return "calls %s(), which the rule cannot prove pure" % callee
+    return None
+
+
+def check(tree):
+    from . import Finding
+
+    for path in tree.files():
+        # The macro definitions themselves (and the NDEBUG plumbing around
+        # them) legitimately mention the bare argument.
+        if path.endswith("util/check.h"):
+            continue
+        code = tree.code(path)
+        for m in _MACRO_RE.finditer(code):
+            arg, balanced = _argument(code, m.end() - 1)
+            if not balanced:
+                continue
+            effect = _side_effect(arg)
+            if effect is None:
+                continue
+            lineno = code.count("\n", 0, m.start()) + 1
+            yield Finding(
+                NAME, path, lineno,
+                "%s argument %s: the check vanishes under NDEBUG, so "
+                "debug and release builds run different programs -- use "
+                "BATON_CHECK (always evaluated) or hoist the effect out"
+                % (m.group(1), effect))

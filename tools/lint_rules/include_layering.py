@@ -22,17 +22,19 @@ ALLOWED = {
     "sim": {"util"},
     "net": {"sim", "util"},
     "obs": {"net", "util"},
+    "fault": {"net", "sim", "util"},
     "baton": {"net", "replication", "util"},
     "replication": {"baton", "net", "util"},
     "chord": {"baton", "net", "util"},
     "d3tree": {"baton", "net", "util"},
     "multiway": {"baton", "net", "util"},
-    "overlay": {"baton", "chord", "d3tree", "multiway", "net", "obs",
-                "sim", "util"},
-    "workload": {"baton", "net", "obs", "overlay", "util"},
-    "serve": {"net", "obs", "overlay", "sim", "util", "workload"},
-    "bench_common": {"baton", "chord", "d3tree", "multiway", "net", "obs",
-                     "overlay", "replication", "sim", "util", "workload"},
+    "overlay": {"baton", "chord", "d3tree", "fault", "multiway", "net",
+                "obs", "sim", "util"},
+    "workload": {"baton", "fault", "net", "obs", "overlay", "util"},
+    "serve": {"fault", "net", "obs", "overlay", "sim", "util", "workload"},
+    "bench_common": {"baton", "chord", "d3tree", "fault", "multiway", "net",
+                     "obs", "overlay", "replication", "sim", "util",
+                     "workload"},
 }
 
 _INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([a-z_0-9]+)/[^"]+"')

@@ -1,0 +1,27 @@
+// Fixture: debug-only checks whose arguments mutate state -- the program
+// behaves differently under NDEBUG.
+#include <cassert>
+
+namespace baton {
+
+struct Queue {
+  int head = 0;
+  bool Pop(int* out) {
+    *out = head;
+    return ++head < 8;
+  }
+};
+
+int Advance(int* cursor) { return ++*cursor; }
+
+void Bad(Queue& q, int n) {
+  int x = 0;
+  BATON_DCHECK(q.Pop(&x));      // the pop vanishes in release builds
+  int i = 0;
+  BATON_DCHECK(++i < n);        // increment lost under NDEBUG
+  int cursor = 0;
+  assert(Advance(&cursor) > 0);  // call with side effects
+  BATON_DCHECK((i += 2) < n);    // compound assignment
+}
+
+}  // namespace baton

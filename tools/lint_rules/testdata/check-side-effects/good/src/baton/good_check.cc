@@ -1,0 +1,26 @@
+// Fixture: pure debug checks, and side-effecting conditions routed
+// through the always-evaluated macro.
+#include <cassert>
+#include <vector>
+
+namespace baton {
+
+struct Queue {
+  int head = 0;
+  bool Pop(int* out) {
+    *out = head;
+    return ++head < 8;
+  }
+};
+
+void Good(Queue& q, const std::vector<int>& v, int n, unsigned count) {
+  BATON_DCHECK(n > 0);
+  BATON_DCHECK(v.size() == count);  // whitelisted pure accessor
+  assert(!v.empty() && v.front() <= v.back());
+  int x = 0;
+  BATON_CHECK(q.Pop(&x));  // side effect, but always evaluated
+  // static_assert is compile-time only and never matches the rule.
+  static_assert(sizeof(int) >= 2, "sane platform");
+}
+
+}  // namespace baton

@@ -60,7 +60,7 @@ void BatonNetwork::IndexPosition(BatonNode* n) {
   ++level_counts_[level];
   height_ = std::max(height_, static_cast<int>(level));
   if (config_.enable_recruit_directory) {
-    recruit_dir_.emplace(n->pos.Packed(), n->id);
+    recruit_dir_.Insert(n->pos.Packed(), n->id);
   }
 }
 
@@ -79,7 +79,7 @@ void BatonNetwork::UnindexPosition(BatonNode* n) {
     --height_;
   }
   if (config_.enable_recruit_directory) {
-    recruit_dir_.erase(n->pos.Packed());
+    recruit_dir_.Erase(n->pos.Packed());
   }
 }
 

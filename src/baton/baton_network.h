@@ -18,8 +18,6 @@
 
 #include <cstdint>
 #include <memory>
-// lint: allow(unordered-iteration) -- recruit_dir_ below; see its comment
-#include <unordered_map>
 #include <vector>
 
 #include "baton/node.h"
@@ -426,14 +424,10 @@ class BatonNetwork {
   std::vector<uint32_t> level_counts_;
   int height_ = -1;
   /// Maintained only under config_.enable_recruit_directory (the skip-list
-  /// load-directory extension, off by default): the directory's
-  /// lightest-leaf tie-break follows this container's enumeration order, and
-  /// the recruit-directory ablation figures were recorded against
-  /// unordered_map enumeration. Keeping the legacy container for that one
-  /// cold path preserves those tables bit-for-bit while every routing-hop
-  /// probe goes through the flat pos_index_.
-  // lint: allow(unordered-iteration) -- ablation tables were recorded against unordered_map enumeration order (see comment above)
-  std::unordered_map<uint64_t, PeerId> recruit_dir_;
+  /// load-directory extension, off by default), keyed by Position::Packed().
+  /// The lightest-leaf search breaks ties on the packed position itself, so
+  /// its result is independent of this container's enumeration order.
+  util::FlatMap64<PeerId> recruit_dir_;
   std::vector<PeerId> failed_;
 
   uint64_t total_keys_ = 0;

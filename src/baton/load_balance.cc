@@ -148,17 +148,22 @@ BatonNode* BatonNetwork::DirectoryFindLightLeaf(BatonNode* asker,
   for (int i = 0; i < hops; ++i) {
     Count(asker->id, asker->id, net::MsgType::kLoadProbe);
   }
-  // The lightest-leaf tie-break follows the directory's enumeration order;
-  // recruit_dir_ (maintained only while this extension is enabled) keeps the
-  // enumeration the recruit-directory figures were recorded against.
+  // Equally light leaves tie-break on the packed tree position, so the
+  // choice is a function of the tree state alone, not of the directory
+  // container's enumeration order.
   BATON_CHECK(config_.enable_recruit_directory);
   BatonNode* best = nullptr;
-  for (const auto& [packed, id] : recruit_dir_) {
+  uint64_t best_pos = 0;
+  recruit_dir_.ForEach([&](uint64_t packed, PeerId id) {
     BatonNode* f = N(id);
-    if (!f->IsLeaf() || !net_->IsAlive(id) || f->id == asker->id) continue;
-    if (f->data.size() >= light_cap) continue;
-    if (best == nullptr || f->data.size() < best->data.size()) best = f;
-  }
+    if (!f->IsLeaf() || !net_->IsAlive(id) || f->id == asker->id) return;
+    if (f->data.size() >= light_cap) return;
+    if (best == nullptr || f->data.size() < best->data.size() ||
+        (f->data.size() == best->data.size() && packed < best_pos)) {
+      best = f;
+      best_pos = packed;
+    }
+  });
   if (best != nullptr) {
     Count(best->id, asker->id, net::MsgType::kLoadProbeReply);
   }

@@ -192,6 +192,11 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "                        (bench_faults; default 0)\n"
       "  --retries=r1,r2,...   retry budgets to sweep (bench_faults;\n"
       "                        default 0,1,3)\n"
+      "  --cache=SIZE[,k]      attach a hot-path cache: per-node route cache\n"
+      "                        of SIZE entries plus a replicated fast-table\n"
+      "                        of the top k tree levels (default k=2; SIZE 0\n"
+      "                        leaves the cache detached; cache-aware "
+      "benches)\n"
       "  --json=PATH           mirror every table into PATH as JSON rows\n"
       "  --trace=PATH          write a Chrome trace-event JSON (open in\n"
       "                        Perfetto) of every replayed op + message\n"
@@ -315,6 +320,22 @@ std::vector<int> ParseRetryBudgets(const char* argv0, const char* arg) {
   return out;
 }
 
+/// Parses --cache=SIZE[,k] (route-cache capacity, optional fast-table
+/// levels) into opt.cache_capacity / opt.cache_levels.
+void ParseCacheSpec(const char* argv0, const char* arg, Options* opt) {
+  const char* comma = std::strchr(arg, ',');
+  if (comma == nullptr) {
+    opt->cache_capacity =
+        static_cast<size_t>(ParseFlagUint(argv0, "--cache", arg, 0));
+    return;
+  }
+  std::string size(arg, static_cast<size_t>(comma - arg));
+  opt->cache_capacity = static_cast<size_t>(
+      ParseFlagUint(argv0, "--cache", size.c_str(), 0));
+  opt->cache_levels = static_cast<int>(
+      ParseFlagUint(argv0, "--cache", comma + 1, 0, 16));
+}
+
 /// Parses --stragglers=K:FACTOR (K >= 0 straggler nodes, FACTOR > 1
 /// service-time multiplier) into opt.stragglers / opt.straggler_factor.
 void ParseStragglers(const char* argv0, const char* arg, Options* opt) {
@@ -395,7 +416,7 @@ std::unique_ptr<sim::LatencyModel> MakeLatencyModel(const LatencySpec& spec) {
 std::string KeyDistSpec::Label() const {
   if (kind == Kind::kUniform) return "uniform";
   char buf[32];
-  std::snprintf(buf, sizeof buf, "zipf:%g", theta);
+  std::snprintf(buf, sizeof buf, "zipf:%.2g", theta);
   return buf;
 }
 
@@ -452,6 +473,12 @@ void AttachLatency(Instance* inst, const LatencySpec& spec, uint64_t seed) {
 void AttachObserver(Instance* inst, bool tracing) {
   inst->observer = std::make_unique<obs::Observer>(tracing);
   inst->overlay->AttachObserver(inst->observer.get());
+}
+
+void AttachCache(Instance* inst, const cache::Config& cfg) {
+  if (cfg.capacity == 0) return;
+  inst->cache = std::make_unique<cache::Manager>(cfg);
+  inst->overlay->AttachCache(inst->cache.get());
 }
 
 void WriteObsArtifacts(const Options& opt, const std::vector<SeedTask>& tasks,
@@ -568,6 +595,8 @@ Options ParseOptions(int argc, char** argv) {
       opt.dup_rate = ParseFlagProb(argv[0], "--dup", a + 6);
     } else if (std::strncmp(a, "--retries=", 10) == 0) {
       opt.retry_budgets = ParseRetryBudgets(argv[0], a + 10);
+    } else if (std::strncmp(a, "--cache=", 8) == 0) {
+      ParseCacheSpec(argv[0], a + 8, &opt);
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       opt.trace_path = a + 8;
       if (opt.trace_path.empty()) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "baton/baton.h"
+#include "cache/cache.h"
 #include "obs/observer.h"
 #include "overlay/registry.h"
 #include "sim/latency.h"
@@ -136,10 +137,20 @@ struct Options {
   /// (fault::Policy::max_retries per cell).
   std::vector<int> retry_budgets = {0, 1, 3};
 
+  // ---- Hot-path cache flags (bench_cache) --------------------------------
+  /// --cache=SIZE[,k]: per-node route-cache capacity and replicated
+  /// fast-table levels for cache-aware benches (see src/cache/cache.h).
+  /// SIZE 0 leaves the cache detached (the byte-identical default); k
+  /// defaults to 2 and 0 disables only the fast-table.
+  size_t cache_capacity = 0;
+  int cache_levels = 2;
+
   /// Observability is wanted when either artifact path is set.
   bool obs_enabled() const {
     return !trace_path.empty() || !metrics_path.empty();
   }
+
+  bool cache_enabled() const { return cache_capacity > 0; }
 };
 
 /// Schema version stamped into every JSON row/snapshot the bench harness
@@ -251,6 +262,10 @@ struct Instance {
   /// the overlay runs unobserved -- the zero-overhead default).
   std::unique_ptr<obs::Observer> observer;
 
+  /// Hot-path cache manager; set by AttachCache (null until then, and the
+  /// overlay routes every lookup through the full protocol walk).
+  std::unique_ptr<cache::Manager> cache;
+
   net::Network* net() { return overlay->network(); }
 };
 
@@ -265,6 +280,12 @@ void AttachLatency(Instance* inst, const LatencySpec& spec, uint64_t seed);
 /// feed the registry. The attachment mirrors AttachLatency: per instance,
 /// opt-in, and a no-op for benches that never call it.
 void AttachObserver(Instance* inst, bool tracing);
+
+/// Attaches a cache::Manager owned by the instance (capacity 0 detaches
+/// instead). Subsequent exact searches consult/learn routes and membership
+/// changes invalidate them. Same contract as the other attachments: per
+/// instance, opt-in, and a no-op for benches that never call it.
+void AttachCache(Instance* inst, const cache::Config& cfg);
 
 /// Writes the observability artifacts opt.trace_path / opt.metrics_path
 /// request, from per-task observers aligned with `tasks` (null entries --

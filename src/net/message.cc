@@ -55,6 +55,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kD3BackboneUpdate: return "D3BackboneUpdate";
     case MsgType::kD3WeightUpdate: return "D3WeightUpdate";
     case MsgType::kD3Redistribute: return "D3Redistribute";
+    case MsgType::kCacheProbe: return "CacheProbe";
+    case MsgType::kCacheRefresh: return "CacheRefresh";
     case MsgType::kNumTypes: break;
   }
   return "Unknown";
@@ -131,6 +133,12 @@ MsgCategory CategoryOf(MsgType t) {
       return MsgCategory::kMaintenance;
     case MsgType::kD3Redistribute:
       return MsgCategory::kLoadBalance;
+    // A cache probe is a query hop (it replaces the protocol walk); the
+    // fast-table refresh is routing-state upkeep, billed to maintenance.
+    case MsgType::kCacheProbe:
+      return MsgCategory::kQuery;
+    case MsgType::kCacheRefresh:
+      return MsgCategory::kMaintenance;
     case MsgType::kNumTypes:
       break;
   }

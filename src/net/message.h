@@ -82,6 +82,11 @@ enum class MsgType : uint16_t {
   kD3WeightUpdate,        // subtree-weight delta propagating toward the root
   kD3Redistribute,        // deterministic rebuild: peer reassigned to a bucket
 
+  // --- Hot-path caching (src/cache/): backend-neutral, emitted by the
+  // overlay measured wrapper rather than by backend protocol code.
+  kCacheProbe,            // origin jumps straight at a remembered owner
+  kCacheRefresh,          // fast-table entry shipped on lazy refresh
+
   kNumTypes,              // sentinel
 };
 

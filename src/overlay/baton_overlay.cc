@@ -34,6 +34,58 @@ PeerId BatonOverlay::RetryOrigin(PeerId origin, int attempt) const {
   return cand[(attempt - 1) % cnt];
 }
 
+bool BatonOverlay::RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const {
+  if (!baton_->InOverlay(peer)) return false;
+  const Range& r = baton_->node(peer).range;
+  if (r.lo >= r.hi) return false;  // empty ranges must not hint
+  *lo = static_cast<uint64_t>(r.lo);
+  *hi = static_cast<uint64_t>(r.hi);
+  return true;
+}
+
+namespace {
+
+PeerId LeftmostOf(const BatonNetwork& bn, PeerId p) {
+  while (bn.node(p).left_child.valid()) p = bn.node(p).left_child.peer;
+  return p;
+}
+
+PeerId RightmostOf(const BatonNetwork& bn, PeerId p) {
+  while (bn.node(p).right_child.valid()) p = bn.node(p).right_child.peer;
+  return p;
+}
+
+/// One fast-table entry per tree node above `levels`, spanning the node's
+/// whole subtree: a jump lands inside the subtree that owns the key, so the
+/// remaining walk is bounded by the subtree height.
+void CollectBatonSubtree(const BatonNetwork& bn, PeerId p, int depth,
+                         int levels, std::vector<cache::FastEntry>* out) {
+  const BatonNode& n = bn.node(p);
+  const Key lo = bn.node(LeftmostOf(bn, p)).range.lo;
+  const Key hi = bn.node(RightmostOf(bn, p)).range.hi;
+  if (lo < hi) {
+    out->push_back({static_cast<uint64_t>(lo), static_cast<uint64_t>(hi), p,
+                    depth});
+  }
+  if (depth + 1 >= levels) return;
+  if (n.left_child.valid()) {
+    CollectBatonSubtree(bn, n.left_child.peer, depth + 1, levels, out);
+  }
+  if (n.right_child.valid()) {
+    CollectBatonSubtree(bn, n.right_child.peer, depth + 1, levels, out);
+  }
+}
+
+}  // namespace
+
+void BatonOverlay::CollectFastTable(int levels,
+                                    std::vector<cache::FastEntry>* out) const {
+  if (levels <= 0) return;
+  PeerId root = baton_->root();
+  if (root == kNullPeer) return;
+  CollectBatonSubtree(*baton_, root, 0, levels, out);
+}
+
 PeerId BatonOverlay::DoBootstrap() { return baton_->Bootstrap(); }
 
 void BatonOverlay::DoJoin(PeerId contact, OpStats* st) {
@@ -43,15 +95,36 @@ void BatonOverlay::DoJoin(PeerId contact, OpStats* st) {
     return;
   }
   st->peer = r.value();
+  // The joiner's range was split off an existing member: routes covering it
+  // now point at the wrong peer.
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  if (route_cache() != nullptr && RouteHint(st->peer, &lo, &hi)) {
+    CacheInvalidateRange(lo, hi);
+  }
 }
 
 void BatonOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  const bool hinted =
+      route_cache() != nullptr && RouteHint(leaver, &lo, &hi);
   st->status = baton_->Leave(leaver);
+  if (st->ok()) {
+    if (hinted) CacheInvalidateRange(lo, hi);
+    CacheInvalidatePeer(leaver);
+  }
 }
 
 void BatonOverlay::DoFail(PeerId victim, OpStats* st) {
   (void)st;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  const bool hinted =
+      route_cache() != nullptr && RouteHint(victim, &lo, &hi);
   baton_->Fail(victim);
+  if (hinted) CacheInvalidateRange(lo, hi);
+  CacheInvalidatePeer(victim);
 }
 
 void BatonOverlay::DoRecoverAllFailures(OpStats* st) {

@@ -30,6 +30,13 @@ class BatonOverlay : public Overlay {
   /// then its parent.
   PeerId RetryOrigin(PeerId origin, int attempt) const override;
 
+  /// Cache support: a member's hint interval is its key range; the
+  /// fast-table replicates the top tree levels, each entry spanning the
+  /// node's whole subtree (leftmost descendant's lo to rightmost's hi).
+  bool RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const override;
+  void CollectFastTable(int levels,
+                        std::vector<cache::FastEntry>* out) const override;
+
   /// The wrapped backend, for BATON-specific introspection (tree positions,
   /// shift-size histogram, load-balance and durability counters).
   BatonNetwork& baton() { return *baton_; }

@@ -33,6 +33,16 @@ class ChordOverlay : public Overlay {
   /// predecessor ring links.
   PeerId RetryOrigin(PeerId origin, int attempt) const override;
 
+  /// Cache support lives in hash space: the routing coordinate is
+  /// HashKey(key), a member's hint interval is its circular ownership arc
+  /// (predecessor, chord_id], and the fast-table is a 2^levels-arc finger
+  /// prefix of the ring (arc start -> its successor).
+  uint64_t RouteCoordOf(Key key) const override;
+  bool RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const override;
+  void CollectFastTable(int levels,
+                        std::vector<cache::FastEntry>* out) const override;
+  bool CacheLocalAnswer(PeerId owner, Key key, OpStats* st) override;
+
   chord::ChordNetwork& chord() { return *ring_; }
   const chord::ChordNetwork& chord() const { return *ring_; }
 

@@ -31,6 +31,43 @@ PeerId D3TreeOverlay::RetryOrigin(PeerId origin, int attempt) const {
   return cand[(attempt - 1) % cnt];
 }
 
+bool D3TreeOverlay::RouteHint(PeerId peer, uint64_t* lo,
+                              uint64_t* hi) const {
+  const d3tree::D3Node& n = tree_->node(peer);
+  if (!n.in_overlay || n.range.lo >= n.range.hi) return false;
+  *lo = static_cast<uint64_t>(n.range.lo);
+  *hi = static_cast<uint64_t>(n.range.hi);
+  return true;
+}
+
+namespace {
+
+/// The backbone already maintains subtree extents per bucket; a fast-table
+/// entry jumps to the bucket representative, which holds the routing state.
+void CollectD3Subtree(const d3tree::D3TreeNetwork& d3, d3tree::BucketId b,
+                      int depth, int levels,
+                      std::vector<cache::FastEntry>* out) {
+  if (b == d3tree::kNullBucket) return;
+  const d3tree::D3Bucket& bk = d3.bucket(b);
+  if (!bk.live || bk.members.empty()) return;
+  if (bk.extent.lo < bk.extent.hi) {
+    out->push_back({static_cast<uint64_t>(bk.extent.lo),
+                    static_cast<uint64_t>(bk.extent.hi), bk.members.front(),
+                    depth});
+  }
+  if (depth + 1 >= levels) return;
+  CollectD3Subtree(d3, bk.left, depth + 1, levels, out);
+  CollectD3Subtree(d3, bk.right, depth + 1, levels, out);
+}
+
+}  // namespace
+
+void D3TreeOverlay::CollectFastTable(int levels,
+                                     std::vector<cache::FastEntry>* out) const {
+  if (levels <= 0 || tree_->size() == 0) return;
+  CollectD3Subtree(*tree_, tree_->root_bucket(), 0, levels, out);
+}
+
 PeerId D3TreeOverlay::DoBootstrap() { return tree_->Bootstrap(); }
 
 void D3TreeOverlay::DoJoin(PeerId contact, OpStats* st) {
@@ -40,15 +77,36 @@ void D3TreeOverlay::DoJoin(PeerId contact, OpStats* st) {
     return;
   }
   st->peer = r.value();
+  // The joiner's range was carved out of its bucket's partition: routes
+  // covering it now point at the wrong peer.
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  if (route_cache() != nullptr && RouteHint(st->peer, &lo, &hi)) {
+    CacheInvalidateRange(lo, hi);
+  }
 }
 
 void D3TreeOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  const bool hinted =
+      route_cache() != nullptr && RouteHint(leaver, &lo, &hi);
   st->status = tree_->Leave(leaver);
+  if (st->ok()) {
+    if (hinted) CacheInvalidateRange(lo, hi);
+    CacheInvalidatePeer(leaver);
+  }
 }
 
 void D3TreeOverlay::DoFail(PeerId victim, OpStats* st) {
   (void)st;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  const bool hinted =
+      route_cache() != nullptr && RouteHint(victim, &lo, &hi);
   tree_->Fail(victim);
+  if (hinted) CacheInvalidateRange(lo, hi);
+  CacheInvalidatePeer(victim);
 }
 
 void D3TreeOverlay::DoRecoverAllFailures(OpStats* st) {

@@ -38,6 +38,13 @@ class D3TreeOverlay : public Overlay {
   /// adjacency is the only per-peer link to fall back on).
   PeerId RetryOrigin(PeerId origin, int attempt) const override;
 
+  /// Cache support: a member's hint interval is its direct key range; the
+  /// fast-table replicates the top backbone buckets (extent -> the bucket
+  /// representative, which holds the routing state a jump lands on).
+  bool RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const override;
+  void CollectFastTable(int levels,
+                        std::vector<cache::FastEntry>* out) const override;
+
   d3tree::D3TreeNetwork& d3tree() { return *tree_; }
   const d3tree::D3TreeNetwork& d3tree() const { return *tree_; }
 

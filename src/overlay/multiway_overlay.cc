@@ -28,6 +28,48 @@ PeerId MultiwayOverlay::RetryOrigin(PeerId origin, int attempt) const {
   return cand[(attempt - 1) % cnt];
 }
 
+bool MultiwayOverlay::RouteHint(PeerId peer, uint64_t* lo,
+                                uint64_t* hi) const {
+  const multiway::MultiwayNode& n = tree_->node(peer);
+  if (!n.in_overlay || n.range.lo >= n.range.hi) return false;
+  *lo = static_cast<uint64_t>(n.range.lo);
+  *hi = static_cast<uint64_t>(n.range.hi);
+  return true;
+}
+
+namespace {
+
+/// Every node already maintains its subtree extent, so the fast-table is a
+/// direct read of the top levels.
+void CollectMultiwaySubtree(const multiway::MultiwayNetwork& mw, PeerId p,
+                            int depth, int levels,
+                            std::vector<cache::FastEntry>* out) {
+  const multiway::MultiwayNode& n = mw.node(p);
+  if (n.extent.lo < n.extent.hi) {
+    out->push_back({static_cast<uint64_t>(n.extent.lo),
+                    static_cast<uint64_t>(n.extent.hi), p, depth});
+  }
+  if (depth + 1 >= levels) return;
+  for (PeerId c : n.children) {
+    CollectMultiwaySubtree(mw, c, depth + 1, levels, out);
+  }
+}
+
+}  // namespace
+
+void MultiwayOverlay::CollectFastTable(
+    int levels, std::vector<cache::FastEntry>* out) const {
+  if (levels <= 0 || tree_->size() == 0) return;
+  // Climb to the root from any member (the backend keeps it private).
+  std::vector<PeerId> ms = tree_->Members();
+  if (ms.empty()) return;
+  PeerId root = ms.front();
+  while (tree_->node(root).parent != kNullPeer) {
+    root = tree_->node(root).parent;
+  }
+  CollectMultiwaySubtree(*tree_, root, 0, levels, out);
+}
+
 PeerId MultiwayOverlay::DoBootstrap() { return tree_->Bootstrap(); }
 
 void MultiwayOverlay::DoJoin(PeerId contact, OpStats* st) {
@@ -37,10 +79,25 @@ void MultiwayOverlay::DoJoin(PeerId contact, OpStats* st) {
     return;
   }
   st->peer = r.value();
+  // The joiner's range was split off an existing member: routes covering it
+  // now point at the wrong peer.
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  if (route_cache() != nullptr && RouteHint(st->peer, &lo, &hi)) {
+    CacheInvalidateRange(lo, hi);
+  }
 }
 
 void MultiwayOverlay::DoLeave(PeerId leaver, OpStats* st) {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  const bool hinted =
+      route_cache() != nullptr && RouteHint(leaver, &lo, &hi);
   st->status = tree_->Leave(leaver);
+  if (st->ok()) {
+    if (hinted) CacheInvalidateRange(lo, hi);
+    CacheInvalidatePeer(leaver);
+  }
 }
 
 void MultiwayOverlay::DoInsert(PeerId from, Key key, OpStats* st) {

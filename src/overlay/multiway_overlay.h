@@ -34,6 +34,13 @@ class MultiwayOverlay : public Overlay {
   /// neighbours, then its parent.
   PeerId RetryOrigin(PeerId origin, int attempt) const override;
 
+  /// Cache support: a member's hint interval is its direct key range; the
+  /// fast-table replicates the top tree levels using the subtree extents
+  /// every node already maintains.
+  bool RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const override;
+  void CollectFastTable(int levels,
+                        std::vector<cache::FastEntry>* out) const override;
+
   multiway::MultiwayNetwork& multiway() { return *tree_; }
   const multiway::MultiwayNetwork& multiway() const { return *tree_; }
 

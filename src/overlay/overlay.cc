@@ -18,6 +18,9 @@ OpStats Overlay::Measured(const char* op, PeerId origin, bool retryable,
   net::Network* net = network();
   OpStats st;
   net::CounterSnapshot before = net->Snapshot();
+  const bool cache_metrics = cache_ != nullptr && obs_ != nullptr;
+  cache::Stats cache_before;
+  if (cache_metrics) cache_before = cache_->stats();
   if (obs_ != nullptr) obs_->BeginOp(op, net->ObsClock());
   net->FaultOpTick();
   if (net->faults() == nullptr) {
@@ -47,6 +50,7 @@ OpStats Overlay::Measured(const char* op, PeerId origin, bool retryable,
       if (st.gave_up) ++reg.Counter(fault::kMetricGaveUp);
       if (st.degraded) ++reg.Counter(fault::kMetricDegraded);
     }
+    if (cache_metrics) PublishCacheMetrics(cache_before);
   }
   return st;
 }
@@ -81,6 +85,11 @@ void Overlay::RunResilient(net::Network* net, PeerId origin, bool retryable,
     uint64_t drops = net->window_dropped();
     dup_msgs += net->window_duplicated();
     st->dropped_msgs += drops;
+    // Cache interactions are real (and billed) whether or not the attempt
+    // is accepted, so they accumulate across attempts.
+    st->cache_hits += att.cache_hits;
+    st->cache_stale += att.cache_stale;
+    st->hops_saved += att.hops_saved;
     // An attempt that lost any message cannot prove its answer reached
     // anyone (the loss may have been the reply); one that overran the
     // timeout is discarded by the impatient caller. Either way: retry.
@@ -133,23 +142,33 @@ PeerId Overlay::RetryOrigin(PeerId origin, int attempt) const {
 }
 
 OpStats Overlay::Join(PeerId contact) {
-  return Measured("join", contact, /*retryable=*/false,
-                  [&](PeerId c, OpStats* st) { DoJoin(c, st); });
+  OpStats st = Measured("join", contact, /*retryable=*/false,
+                        [&](PeerId c, OpStats* s) { DoJoin(c, s); });
+  // Any membership change outdates the replicated fast-table; every node's
+  // mirror refreshes lazily on its next cold lookup.
+  if (cache_ != nullptr && st.ok()) cache_->BumpVersion();
+  return st;
 }
 
 OpStats Overlay::Leave(PeerId leaver) {
-  return Measured("leave", kNullPeer, /*retryable=*/false,
-                  [&](PeerId, OpStats* st) { DoLeave(leaver, st); });
+  OpStats st = Measured("leave", kNullPeer, /*retryable=*/false,
+                        [&](PeerId, OpStats* s) { DoLeave(leaver, s); });
+  if (cache_ != nullptr && st.ok()) cache_->BumpVersion();
+  return st;
 }
 
 OpStats Overlay::Fail(PeerId victim) {
-  return Measured("fail", kNullPeer, /*retryable=*/false,
-                  [&](PeerId, OpStats* st) { DoFail(victim, st); });
+  OpStats st = Measured("fail", kNullPeer, /*retryable=*/false,
+                        [&](PeerId, OpStats* s) { DoFail(victim, s); });
+  if (cache_ != nullptr && st.ok()) cache_->BumpVersion();
+  return st;
 }
 
 OpStats Overlay::RecoverAllFailures() {
-  return Measured("recover", kNullPeer, /*retryable=*/false,
-                  [&](PeerId, OpStats* st) { DoRecoverAllFailures(st); });
+  OpStats st = Measured("recover", kNullPeer, /*retryable=*/false,
+                        [&](PeerId, OpStats* s) { DoRecoverAllFailures(s); });
+  if (cache_ != nullptr && st.ok()) cache_->BumpVersion();
+  return st;
 }
 
 OpStats Overlay::Insert(PeerId from, Key key) {
@@ -164,7 +183,7 @@ OpStats Overlay::Delete(PeerId from, Key key) {
 
 OpStats Overlay::ExactSearch(PeerId from, Key key) {
   return Measured("exact", from, /*retryable=*/true,
-                  [&](PeerId f, OpStats* st) { DoExactSearch(f, key, st); });
+                  [&](PeerId f, OpStats* st) { CacheAwareExact(f, key, st); });
 }
 
 OpStats Overlay::RangeSearch(PeerId from, Key lo, Key hi) {
@@ -190,6 +209,133 @@ void Overlay::DoRangeSearch(PeerId from, Key lo, Key hi, OpStats* st) {
 
 Status Overlay::Unsupported(const char* op) const {
   return Status::FailedPrecondition(name() + " does not support " + op);
+}
+
+uint64_t Overlay::RouteCoordOf(Key key) const {
+  return static_cast<uint64_t>(key);
+}
+
+bool Overlay::RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const {
+  (void)peer;
+  (void)lo;
+  (void)hi;
+  return false;
+}
+
+void Overlay::CollectFastTable(int levels,
+                               std::vector<cache::FastEntry>* out) const {
+  (void)levels;
+  (void)out;
+}
+
+bool Overlay::CacheLocalAnswer(PeerId owner, Key key, OpStats* st) {
+  (void)owner;
+  (void)key;
+  (void)st;
+  return false;
+}
+
+void Overlay::CacheInvalidatePeer(PeerId owner) {
+  if (cache_ != nullptr) cache_->InvalidatePeer(owner);
+}
+
+void Overlay::CacheInvalidateRange(uint64_t lo, uint64_t hi) {
+  if (cache_ != nullptr) cache_->InvalidateRange(lo, hi);
+}
+
+void Overlay::CacheAwareExact(PeerId from, Key key, OpStats* st) {
+  cache::Manager* c = cache_;
+  if (c == nullptr) {
+    DoExactSearch(from, key, st);
+    return;
+  }
+  net::Network* net = network();
+  const uint64_t rk = RouteCoordOf(key);
+  // Route cache first: on a hit, one probe message jumps straight at the
+  // remembered owner, who answers iff it still owns rk. A refuted hit has
+  // already paid the probe (honest accounting), evicts the entry, and runs
+  // the normal walk below.
+  cache::RouteEntry hint;
+  int slot = c->Lookup(from, rk, &hint);
+  if (slot >= 0 && hint.owner != from) {
+    net->Count(from, hint.owner, net::MsgType::kCacheProbe);
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    if (net->IsAlive(hint.owner) && RouteHint(hint.owner, &lo, &hi) &&
+        cache::RangeContains(lo, hi, rk)) {
+      if (!CacheLocalAnswer(hint.owner, key, st)) {
+        DoExactSearch(hint.owner, key, st);
+      }
+      st->hops += 1;  // the verified jump
+      st->cache_hits += 1;
+      if (hint.cost > st->hops) st->hops_saved += hint.cost - st->hops;
+      c->NoteHit();
+      return;
+    }
+    c->EvictStale(from, slot);
+    st->cache_stale += 1;
+  } else if (slot < 0) {
+    c->NoteMiss();
+  }
+  PeerId start = from;
+  int jump = 0;
+  if (c->fast_enabled()) {
+    if (c->NeedsRefresh(from)) {
+      if (c->SnapshotStale()) {
+        std::vector<cache::FastEntry> snap;
+        CollectFastTable(c->config().root_levels, &snap);
+        c->InstallSnapshot(std::move(snap));
+      }
+      // Lazy refresh: each live fast-table node ships its region to the
+      // consulting node, billed as maintenance traffic inside this op.
+      uint64_t billed = 0;
+      for (const cache::FastEntry& fe : c->fast_entries()) {
+        if (fe.peer == from || !net->IsAlive(fe.peer)) continue;
+        net->Count(fe.peer, from, net::MsgType::kCacheRefresh);
+        ++billed;
+      }
+      c->MarkRefreshed(from, billed);
+    }
+    const cache::FastEntry* fe = c->FastLookup(rk);
+    if (fe != nullptr && fe->peer != from && net->IsAlive(fe->peer)) {
+      net->Count(from, fe->peer, net::MsgType::kCacheProbe);
+      start = fe->peer;
+      jump = 1;
+      c->NoteFastHit();
+    }
+  }
+  DoExactSearch(start, key, st);
+  st->hops += jump;
+  // Learn the completed route at the origin: the owner's current interval
+  // is the fact a later lookup can jump on. Zero-hop answers (the origin
+  // already owned the key) teach nothing a jump could improve.
+  if (st->ok() && st->peer != kNullPeer && st->peer != from) {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    if (RouteHint(st->peer, &lo, &hi) && cache::RangeContains(lo, hi, rk)) {
+      c->Learn(from, lo, hi, st->peer, st->hops);
+    }
+  }
+}
+
+void Overlay::PublishCacheMetrics(const cache::Stats& before) {
+  const cache::Stats& now = cache_->stats();
+  obs::Registry& reg = obs_->metrics();
+  const auto bump = [&reg](const char* name, uint64_t delta) {
+    if (delta > 0) reg.Counter(name) += delta;
+  };
+  bump(cache::kMetricHits, now.hits - before.hits);
+  bump(cache::kMetricMisses, now.misses - before.misses);
+  bump(cache::kMetricStale, now.stale - before.stale);
+  bump(cache::kMetricEvictions, now.evictions - before.evictions);
+  bump(cache::kMetricInvalidations, now.invalidations - before.invalidations);
+  bump(cache::kMetricFastHits, now.fast_hits - before.fast_hits);
+  bump(cache::kMetricRefreshes, now.refreshes - before.refreshes);
+  const uint64_t consults = now.hits + now.misses + now.stale;
+  if (consults > 0) {
+    reg.Gauge(cache::kMetricHitRatePct) =
+        static_cast<int64_t>(100 * now.hits / consults);
+  }
 }
 
 }  // namespace overlay

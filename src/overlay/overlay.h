@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "baton/types.h"
+#include "cache/cache.h"
 #include "fault/fault.h"
 #include "net/network.h"
 #include "obs/observer.h"
@@ -92,6 +93,16 @@ struct [[nodiscard]] OpStats {
   bool degraded = false;
   uint64_t dropped_msgs = 0;  // messages lost across all attempts
 
+  // ---- Hot-path caching outcome. All zero when no cache manager is
+  // attached (see Overlay::AttachCache). ------------------------------------
+  /// Attempts answered by a verified route-cache jump (one probe message).
+  int cache_hits = 0;
+  /// Attempts whose cached owner no longer held the key: the probe was
+  /// wasted, the entry evicted, and the normal protocol walk ran instead.
+  int cache_stale = 0;
+  /// Hops the cache saved vs. the walk that originally learned the route.
+  int hops_saved = 0;
+
   bool ok() const { return status.ok(); }
 };
 
@@ -152,6 +163,16 @@ class Overlay {
   /// check and output is byte-identical to a fault-free build.
   void AttachFaults(net::FaultInjector* f) { network()->AttachFaults(f); }
 
+  /// Attaches the hot-path caching manager (same lifecycle contract as the
+  /// other attachments: per instance, opt-in, non-owning, nullptr
+  /// detaches). While attached, exact searches consult the origin's route
+  /// cache and the replicated fast-table before walking the protocol, learn
+  /// completed routes, and membership operations invalidate what they move
+  /// (see src/cache/cache.h). Detached (the default) every operation pays
+  /// one null check and all output is byte-identical to a cache-free build.
+  void AttachCache(cache::Manager* c) { cache_ = c; }
+  cache::Manager* route_cache() const { return cache_; }
+
   /// Resilience budget applied while a fault plan is attached. The default
   /// policy (no retries, no timeout) makes every message loss in a read
   /// operation fatal to it -- the honest baseline benches compare against.
@@ -164,6 +185,28 @@ class Overlay {
   /// cycling deterministically through the candidates. The base returns
   /// `origin` (retry in place). Must return a current member.
   virtual PeerId RetryOrigin(PeerId origin, int attempt) const;
+
+  // ---- Cache support surface (per-backend). --------------------------------
+  /// Routing coordinate of `key`: the space cache intervals live in. Tree
+  /// backends route on the key itself (the default); Chord overrides this
+  /// with HashKey, because its ownership intervals exist in hash space.
+  virtual uint64_t RouteCoordOf(Key key) const;
+  /// Current ownership interval of `peer` in routing-coordinate space,
+  /// half-open [lo, hi) with cache::RangeContains conventions (Chord wraps).
+  /// Returns false when the peer is not a live member. This is both the
+  /// fact the route cache learns and the owner-side verification of a hit.
+  virtual bool RouteHint(PeerId peer, uint64_t* lo, uint64_t* hi) const;
+  /// Snapshot of the top `levels` tree levels (Chord: a 2^levels-arc finger
+  /// prefix of the ring) as fast-table regions. Deeper entries win lookups.
+  virtual void CollectFastTable(int levels,
+                                std::vector<cache::FastEntry>* out) const;
+  /// Answers `key` directly at `owner` -- already verified (RouteHint) to
+  /// own the key's routing coordinate -- filling st->peer/st->found and
+  /// returning true. The base returns false: the wrapper then runs a
+  /// protocol search from `owner`, which tree backends resolve in zero
+  /// hops. Chord overrides this because its successor walk from the owner
+  /// would circle the ring to rediscover what the probe just verified.
+  virtual bool CacheLocalAnswer(PeerId owner, Key key, OpStats* st);
 
   // ---- Membership ----------------------------------------------------------
   /// Creates the first node. Must be called exactly once, before any Join.
@@ -215,6 +258,13 @@ class Overlay {
   /// of via capabilities().
   Status Unsupported(const char* op) const;
 
+  // Invalidation hooks for the backends' membership paths: a leave/fail
+  // drops every route pointing at the departed peer; a join/leave/
+  // restructure that moved ownership of an interval drops the routes
+  // covering it. No-ops when no cache is attached.
+  void CacheInvalidatePeer(PeerId owner);
+  void CacheInvalidateRange(uint64_t lo, uint64_t hi);
+
  private:
   /// The measured wrapper: counter snapshots, sim window, obs span, fault
   /// op tick, and -- with a fault plan attached -- the resilience loop.
@@ -227,8 +277,17 @@ class Overlay {
   template <typename Fn>
   void RunResilient(net::Network* net, PeerId origin, bool retryable,
                     Fn&& fn, OpStats* st);
+  /// The cache-aware exact-search body: consult the origin's route cache
+  /// (verified jump / stale fallback), then the fast-table (lazy refresh +
+  /// cold jump), then the protocol walk; learn the completed route. With no
+  /// cache attached this is exactly DoExactSearch.
+  void CacheAwareExact(PeerId from, Key key, OpStats* st);
+  /// Mirrors the per-op cache Stats delta into the observer's `cache.*`
+  /// metrics and refreshes the hit-rate gauge.
+  void PublishCacheMetrics(const cache::Stats& before);
 
   obs::Observer* obs_ = nullptr;
+  cache::Manager* cache_ = nullptr;
   fault::Policy resilience_;
 };
 

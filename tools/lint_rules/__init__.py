@@ -92,6 +92,7 @@ from . import message_categories  # noqa: E402
 from . import include_layering   # noqa: E402
 from . import no_const_cast      # noqa: E402
 from . import check_side_effects  # noqa: E402
+from . import check_float_format  # noqa: E402
 
 ALL_RULES = [
     nondeterminism,
@@ -101,4 +102,5 @@ ALL_RULES = [
     include_layering,
     no_const_cast,
     check_side_effects,
+    check_float_format,
 ]

@@ -1,0 +1,68 @@
+"""Requires explicit precision when formatting floats in bench output.
+
+Bench tables and their JSON mirrors are diffed byte-for-byte across PRs,
+so every float that reaches them must be formatted with an explicit
+precision: "%f" silently means six digits today and whatever the format
+implementation decides tomorrow, and iostream's operator<< on a double
+obeys the global locale and stream precision state. Two checks over the
+output paths (bench/, src/bench_common/, util/table_printer):
+
+  * printf-family float conversions (%f %e %g and friends) inside string
+    literals must carry a '.'-precision ("%.2f", "%5.1f", "%.*f");
+  * streaming a float literal or a static_cast<double/float> result with
+    operator<< is rejected outright -- route it through TablePrinter::Num
+    or snprintf instead. (Streaming a named double can't be told apart
+    from streaming a string syntactically; the conventions above keep
+    such values out of the output paths in the first place.)
+"""
+
+import re
+
+NAME = "check-float-format"
+DESCRIPTION = ("bench output paths must format floats with explicit "
+               "precision (no bare %f/%g, no operator<< on doubles)")
+
+_OUTPUT_PREFIXES = (
+    "bench/",
+    "src/bench_common/",
+    "src/util/table_printer",
+)
+
+# String literals of a raw line (the comment/string masker would blank the
+# format strings this rule exists to inspect).
+_STRING_RE = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+# One printf conversion ending in a float specifier: flags, optional
+# width, optional precision. %% never matches; the space flag is omitted
+# so prose like "50% full" inside a literal can't trip the rule.
+_FLOAT_CONV_RE = re.compile(
+    r"%(?!%)[-+#0]*(?:\d+|\*)?(?P<prec>\.(?:\d+|\*))?[fFeEgG]")
+
+# operator<< fed a float literal or an explicit cast to a float type.
+_STREAM_FLOAT_RE = re.compile(
+    r"<<\s*(?:static_cast<\s*(?:double|float)\s*>|\d+\.\d+)")
+
+
+def check(tree):
+    from . import Finding
+
+    for path in tree.files():
+        if not any(path.startswith(p) for p in _OUTPUT_PREFIXES):
+            continue
+        for lineno, line in enumerate(tree.lines(path), start=1):
+            for literal in _STRING_RE.finditer(line):
+                for conv in _FLOAT_CONV_RE.finditer(literal.group(0)):
+                    if conv.group("prec"):
+                        continue
+                    yield Finding(
+                        NAME, path, lineno,
+                        "float conversion '%s' without explicit precision; "
+                        "write e.g. '%%.2%s' (or use TablePrinter::Num)"
+                        % (conv.group(0), conv.group(0)[-1]))
+        for lineno, line in enumerate(tree.code_lines(path), start=1):
+            if _STREAM_FLOAT_RE.search(line):
+                yield Finding(
+                    NAME, path, lineno,
+                    "operator<< on a floating value is locale- and "
+                    "stream-state-dependent; format it with "
+                    "TablePrinter::Num or snprintf + explicit precision")

@@ -23,17 +23,18 @@ ALLOWED = {
     "net": {"sim", "util"},
     "obs": {"net", "util"},
     "fault": {"net", "sim", "util"},
+    "cache": {"net", "util"},
     "baton": {"net", "replication", "util"},
     "replication": {"baton", "net", "util"},
     "chord": {"baton", "net", "util"},
     "d3tree": {"baton", "net", "util"},
     "multiway": {"baton", "net", "util"},
-    "overlay": {"baton", "chord", "d3tree", "fault", "multiway", "net",
-                "obs", "sim", "util"},
+    "overlay": {"baton", "cache", "chord", "d3tree", "fault", "multiway",
+                "net", "obs", "sim", "util"},
     "workload": {"baton", "fault", "net", "obs", "overlay", "util"},
     "serve": {"fault", "net", "obs", "overlay", "sim", "util", "workload"},
-    "bench_common": {"baton", "chord", "d3tree", "fault", "multiway", "net",
-                     "obs", "overlay", "replication", "sim", "util",
+    "bench_common": {"baton", "cache", "chord", "d3tree", "fault", "multiway",
+                     "net", "obs", "overlay", "replication", "sim", "util",
                      "workload"},
 }
 

@@ -1,0 +1,14 @@
+// Fixture: every float reaching bench output here is formatted wrong.
+#include <cstdio>
+#include <iostream>
+
+int main() {
+  double rate = 0.123456;
+  std::printf("rate %f\n", rate);                  // bare %f: six digits today
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "theta %g", rate);  // bare %g
+  std::printf("wide %8e\n", rate);                 // width is not precision
+  std::cout << "cast " << static_cast<double>(7) << "\n";  // locale-dependent
+  std::cout << "lit " << 3.14 << "\n";             // float literal streamed
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fixture: explicit precision everywhere, prose percent signs left alone.
+#include <cstdio>
+
+int main() {
+  double rate = 0.123456;
+  std::printf("rate %.2f\n", rate);            // explicit precision
+  std::printf("padded %8.3f %.*f\n", rate, 2, rate);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "theta %.2g", rate);
+  std::printf("done: 100%% full, %d found\n", 3);  // %% and ints are fine
+  return 0;
+}
